@@ -1,0 +1,134 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* swap-improvement on/off — what NMAP's pairwise refinement buys over the
+  constructive seed;
+* NMAPTM vs NMAPTA — what all-path splitting buys over minimum-path
+  splitting (the low-jitter trade);
+* commodity ordering in shortestpath() — why the heuristic routes heavy
+  commodities first;
+* PBB queue-length sensitivity — the knob behind Table 2's scaling story.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.apps import VIDEO_APPS, get_app
+from repro.graphs.commodities import build_commodities
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping import nmap_single_path, pbb, random_mapping
+from repro.metrics import min_bandwidth_split
+from repro.routing.base import RoutingResult, path_links
+from repro.routing.min_path import least_loaded_quadrant_path, min_path_routing
+
+
+def _mesh_for(app):
+    return NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=app.total_bandwidth())
+
+
+def test_ablation_swap_improvement(benchmark):
+    """Swap refinement must strictly help somewhere and never hurt."""
+
+    def sweep():
+        rows = []
+        for app_name in VIDEO_APPS:
+            app = get_app(app_name)
+            mesh = _mesh_for(app)
+            seed_only = nmap_single_path(app, mesh, improve=False).comm_cost
+            refined = nmap_single_path(app, mesh).comm_cost
+            rows.append((app_name, seed_only, refined))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    improved_somewhere = False
+    for app_name, seed_only, refined in rows:
+        print(f"  {app_name:6s} seed={seed_only:8.0f} refined={refined:8.0f}")
+        assert refined <= seed_only + 1e-9, app_name
+        if refined < seed_only - 1e-9:
+            improved_somewhere = True
+    assert improved_somewhere
+
+
+def test_ablation_split_scope(benchmark):
+    """NMAPTA (all paths) needs at most NMAPTM's (min paths) bandwidth."""
+
+    def sweep():
+        rows = []
+        for app_name in VIDEO_APPS:
+            app = get_app(app_name)
+            mapping = nmap_single_path(app, _mesh_for(app)).mapping
+            tm, _ = min_bandwidth_split(mapping, quadrant_only=True)
+            ta, _ = min_bandwidth_split(mapping, quadrant_only=False)
+            rows.append((app_name, tm, ta))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    for app_name, tm, ta in rows:
+        print(f"  {app_name:6s} NMAPTM={tm:7.1f} NMAPTA={ta:7.1f}")
+        assert ta <= tm + 1e-6, app_name
+    assert any(ta < tm - 1e-6 for _a, tm, ta in rows)
+
+
+def _route_in_order(topology, commodities, order_key):
+    """Route commodities in a caller-chosen order (heuristic internals)."""
+    loads: dict[tuple[int, int], float] = {}
+    paths: dict[int, list[int]] = {}
+    for commodity in sorted(commodities, key=order_key):
+        path = least_loaded_quadrant_path(
+            topology, commodity.src_node, commodity.dst_node, loads
+        )
+        paths[commodity.index] = path
+        for link in path_links(path):
+            loads[link] = loads.get(link, 0.0) + commodity.value
+    return RoutingResult.from_paths(topology, commodities, paths, "ordered")
+
+
+def test_ablation_commodity_ordering(benchmark):
+    """Heaviest-first ordering (the paper's choice) vs lightest-first."""
+
+    def sweep():
+        results = []
+        for seed in (1, 2, 3, 4, 5):
+            graph = random_core_graph(14, seed=seed)
+            mesh = NoCTopology.smallest_mesh_for(14, link_bandwidth=1e9)
+            mapping = random_mapping(graph, mesh, seed=seed).mapping
+            commodities = build_commodities(graph, mapping)
+            heavy_first = _route_in_order(
+                mesh, commodities, lambda c: (-c.value, c.index)
+            ).max_link_load()
+            light_first = _route_in_order(
+                mesh, commodities, lambda c: (c.value, c.index)
+            ).max_link_load()
+            results.append((heavy_first, light_first))
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    for heavy, light in results:
+        print(f"  heavy-first={heavy:8.1f}  light-first={light:8.1f}")
+    # Measured finding (recorded in EXPERIMENTS.md): on random mappings the
+    # two orders trade wins per instance; the paper's heaviest-first choice
+    # must at least never be catastrophically worse in aggregate.
+    mean_heavy = sum(h for h, _l in results) / len(results)
+    mean_light = sum(l for _h, l in results) / len(results)
+    assert mean_heavy <= mean_light * 1.15
+
+
+def test_ablation_pbb_queue(benchmark):
+    """PBB quality must degrade monotonically-ish as the queue shrinks."""
+
+    def sweep():
+        graph = random_core_graph(20, seed=77)
+        mesh = NoCTopology.smallest_mesh_for(20, link_bandwidth=graph.total_bandwidth())
+        return {
+            queue: pbb(graph, mesh, max_queue=queue).comm_cost
+            for queue in (2, 20, 200, 2000)
+        }
+
+    costs = run_once(benchmark, sweep)
+    print(f"\n  PBB cost by queue: {costs}")
+    assert costs[2000] <= costs[20]
+    assert costs[2000] <= costs[2]

@@ -1,0 +1,26 @@
+"""Figure 3 bench: communication cost of the four algorithms on six apps.
+
+Shape asserted (paper): NMAP and PBB perform well for all applications when
+compared to PMAP and GMAP.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_communication_cost(benchmark):
+    table = run_once(benchmark, run_fig3)
+    print()
+    print(table.render())
+    assert len(table.rows) == 6
+    for row in table.rows:
+        app, pmap_cost, gmap_cost, pbb_cost, nmap_cost = row
+        # every cost finite (all algorithms feasible at the Fig 3 constraint)
+        assert all(c != float("inf") for c in (pmap_cost, gmap_cost, pbb_cost, nmap_cost))
+        # the paper's shape: the NMAP/PBB pair is never beaten by PMAP, and
+        # NMAP stays within a whisker of GMAP everywhere
+        assert min(nmap_cost, pbb_cost) <= pmap_cost + 1e-9, app
+        assert nmap_cost <= gmap_cost * 1.05, app

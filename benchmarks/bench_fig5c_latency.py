@@ -1,0 +1,34 @@
+"""Figure 5c bench: average packet latency vs link bandwidth (simulator).
+
+Shape asserted (paper): latency rises as bandwidth falls; the single-path
+curve sits above the split curve at the low-bandwidth end and rises more
+sharply across the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig5c import run_fig5c
+
+
+def test_fig5c_latency_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        run_fig5c,
+        sweep_gbps=(1.1, 1.3, 1.5, 1.8),
+        seeds=(1, 2),
+        measure_cycles=15_000,
+    )
+    print()
+    print(table.render())
+    lows = table.rows[0]  # 1.1 GB/s
+    highs = table.rows[-1]  # 1.8 GB/s
+    _bw_low, minp_low, split_low = lows
+    _bw_high, minp_high, split_high = highs
+    # latency falls with bandwidth for both routings
+    assert minp_low > minp_high
+    assert split_low > split_high
+    # single path suffers more at the congested end and grows faster
+    assert minp_low > split_low
+    assert (minp_low - minp_high) > (split_low - split_high)

@@ -1,0 +1,63 @@
+"""Runtime benches: the paper's "fast algorithm" claim.
+
+§5 notes NMAP completes "in a few seconds" where the ILP takes minutes.
+These benches time the core algorithm kernels so regressions in asymptotics
+(e.g. breaking the O(deg) swap delta) show up as timing cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.apps import vopd
+from repro.graphs.commodities import build_commodities
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping import nmap_single_path, nmap_with_splitting
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+
+
+def test_runtime_nmap_vopd(benchmark):
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    result = benchmark(nmap_single_path, app, mesh)
+    assert result.feasible
+
+
+def test_runtime_nmap_65_cores(benchmark):
+    app = random_core_graph(65, seed=2069)
+    mesh = NoCTopology.smallest_mesh_for(65, link_bandwidth=app.total_bandwidth())
+    result = benchmark.pedantic(
+        nmap_single_path, args=(app, mesh), rounds=1, iterations=1
+    )
+    assert result.feasible
+
+
+def test_runtime_min_path_routing(benchmark):
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    mapping = nmap_single_path(app, mesh).mapping
+    commodities = build_commodities(app, mapping)
+    routing = benchmark(min_path_routing, mesh, commodities)
+    assert routing.max_link_load() > 0
+
+
+def test_runtime_mcf_min_congestion(benchmark):
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    mapping = nmap_single_path(app, mesh).mapping
+    commodities = build_commodities(app, mapping)
+    lam, _ = benchmark.pedantic(
+        solve_min_congestion, args=(mesh, commodities), rounds=1, iterations=1
+    )
+    assert lam > 0
+
+
+def test_runtime_nmap_split_dsp(benchmark):
+    from repro.apps.dsp import dsp_filter, dsp_mesh
+
+    app = dsp_filter()
+    mesh = dsp_mesh(link_bandwidth=400.0)
+    result = benchmark.pedantic(
+        nmap_with_splitting, args=(app, mesh), rounds=1, iterations=1
+    )
+    assert result.feasible

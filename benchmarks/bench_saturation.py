@@ -1,0 +1,64 @@
+"""Load-sweep bench: latency vs offered load, single-path vs split routing.
+
+A classic NoC evaluation the paper implies but does not plot: scale every
+commodity's injection rate and watch latency grow toward saturation.  Split
+routing, with its lower peak link utilization, must saturate later — i.e.
+at high load its latency advantage over single-path routing must widen.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.apps.dsp import dsp_filter, dsp_mesh
+from repro.graphs.commodities import build_commodities
+from repro.mapping import nmap_with_splitting
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+from repro.simnoc import SimConfig, simulate_mapping
+
+
+def test_saturation_sweep(benchmark):
+    def sweep():
+        app = dsp_filter()
+        mesh = dsp_mesh(link_bandwidth=500.0)
+        mapped = nmap_with_splitting(app, mesh, quadrant_only=True)
+        commodities = build_commodities(app, mapped.mapping)
+        single = min_path_routing(mesh, commodities)
+        _lam, split = solve_min_congestion(mesh, commodities, quadrant_only=True)
+
+        rows = []
+        for scale in (0.6, 1.0, 1.4):
+            means = {}
+            for label, routing in (("minp", single), ("split", split)):
+                per_seed = []
+                for seed in (1, 2):
+                    config = SimConfig(
+                        mean_burst_packets=2.0,
+                        buffer_depth=16,
+                        measure_cycles=12_000,
+                        seed=seed,
+                    )
+                    report = simulate_mapping(
+                        mesh, commodities, routing, config,
+                        link_rate_flits_per_cycle=config.gbps_link_rate(1.2),
+                        bandwidth_scale=scale,
+                    )
+                    per_seed.append(report.stats.mean)
+                means[label] = sum(per_seed) / len(per_seed)
+            rows.append((scale, means["minp"], means["split"]))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"  {'load':>5} {'minp':>8} {'split':>8}")
+    for scale, minp, split in rows:
+        print(f"  {scale:>5.1f} {minp:>8.1f} {split:>8.1f}")
+    # latency grows with load for both routings
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] > rows[0][2]
+    # the single-path advantage gap shrinks / flips as load rises:
+    # (minp - split) must grow from the lightest to the heaviest load
+    gap_light = rows[0][1] - rows[0][2]
+    gap_heavy = rows[-1][1] - rows[-1][2]
+    assert gap_heavy > gap_light

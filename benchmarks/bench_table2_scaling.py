@@ -1,0 +1,22 @@
+"""Table 2 bench: PBB vs NMAP on random graphs of 25-65 cores.
+
+Shape asserted (paper: ratios 1.54-1.85): NMAP beats the bounded-queue PBB
+on every size, and its advantage at 65 cores clearly exceeds that at 25.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_scaling(benchmark):
+    table = run_once(benchmark, run_table2)
+    print()
+    print(table.render())
+    ratios = {row[0]: row[3] for row in table.rows}
+    assert set(ratios) == {25, 35, 45, 55, 65}
+    assert all(ratio >= 1.0 for ratio in ratios.values())
+    assert ratios[65] > ratios[25]
+    assert ratios[65] >= 1.3

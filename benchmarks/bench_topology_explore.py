@@ -1,0 +1,25 @@
+"""Future-work bench: mesh vs torus topology selection (paper's conclusion).
+
+Shape asserted: torus never costs more (wrap links only shorten distances)
+and buys a measurable saving on at least one application, while split-BW
+needs never grow.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.topology_explore import run_topology_explore
+
+
+def test_topology_exploration(benchmark):
+    table = run_once(benchmark, run_topology_explore)
+    print()
+    print(table.render())
+    savings = []
+    for row in table.rows:
+        app, mesh_cost, torus_cost, saving, mesh_bw, torus_bw = row
+        assert torus_cost <= mesh_cost + 1e-9, app
+        assert torus_bw <= mesh_bw + 1e-6, app
+        savings.append(saving)
+    assert max(savings) > 0.0  # the wraps pay off somewhere

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Design-space exploration: mesh shape x link bandwidth for one app.
+
+The paper's conclusion pitches NMAP for "fast design space exploration for
+NoC topology selection".  This example does exactly that for the MPEG-4
+decoder: sweep candidate mesh shapes and uniform link bandwidths, run NMAP
+on each point, and tabulate cost / feasibility / bandwidth headroom so a
+designer can pick the cheapest feasible corner.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.apps import mpeg4
+from repro.graphs import NoCTopology
+from repro.mapping import nmap_single_path
+from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
+
+
+def main() -> None:
+    app = mpeg4()
+    print(f"exploring {app.name}: {app.num_cores} cores, "
+          f"{app.total_bandwidth():.0f} MB/s total\n")
+
+    shapes = [(4, 4), (5, 3), (7, 2), (4, 5)]
+    print(f"{'mesh':>6} {'cost':>7} {'minBW(single)':>14} {'minBW(split)':>13} "
+          f"{'avg hops':>9}")
+    best = None
+    for width, height in shapes:
+        if width * height < app.num_cores:
+            continue
+        mesh = NoCTopology.mesh(width, height, link_bandwidth=app.total_bandwidth())
+        result = nmap_single_path(app, mesh)
+        single_bw, _ = min_bandwidth_min_path(result.mapping)
+        split_bw, _ = min_bandwidth_split(result.mapping)
+        hops = result.comm_cost / app.total_bandwidth()
+        print(f"{width}x{height:>3} {result.comm_cost:>7.0f} {single_bw:>14.0f} "
+              f"{split_bw:>13.0f} {hops:>9.2f}")
+        if best is None or result.comm_cost < best[1]:
+            best = ((width, height), result.comm_cost, split_bw)
+
+    assert best is not None
+    (bw_, bh_), cost, split_bw = best
+    print(f"\nbest shape: {bw_}x{bh_} at cost {cost:.0f}; with traffic "
+          f"splitting the links only need {split_bw:.0f} MB/s")
+
+    print("\nlink-bandwidth sweep on the best shape (single-path NMAP):")
+    mesh_cap = None
+    for capacity in (400.0, 600.0, 800.0, 1200.0):
+        mesh = NoCTopology.mesh(bw_, bh_, link_bandwidth=capacity)
+        result = nmap_single_path(app, mesh)
+        verdict = "feasible" if result.feasible else "INFEASIBLE"
+        print(f"  {capacity:>7.0f} MB/s links: {verdict}")
+        if result.feasible and mesh_cap is None:
+            mesh_cap = capacity
+    if mesh_cap is not None:
+        print(f"\ncheapest feasible uniform capacity in the sweep: "
+              f"{mesh_cap:.0f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

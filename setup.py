@@ -1,0 +1,8 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` works on environments whose setuptools
+predates PEP 660 editable wheels (no `wheel` package available offline).
+"""
+from setuptools import setup
+
+setup()

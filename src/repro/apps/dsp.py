@@ -1,0 +1,38 @@
+"""DSP filter design core graph (Figure 5a; 6 cores).
+
+The SystemC case study of §7.2: ARM controller, FFT, frequency-domain
+Filter, IFFT, shared Memory and Display.  The figure labels six edges with
+200 MB/s and two with 600 MB/s; the 600 MB/s pair is the FFT-domain data
+exchange between the Filter and the IFFT (forward/backward), which is the
+traffic the paper splits to bring the per-link bandwidth need from
+600 MB/s down (Table 3).
+
+The 2x3 mesh of Figure 5(b) is exposed as :func:`dsp_mesh`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+
+#: (src, dst, MB/s) for the 6-core DSP filter (Figure 5a).
+DSP_FLOWS: tuple[tuple[str, str, float], ...] = (
+    ("arm", "fft", 200.0),
+    ("fft", "filter", 200.0),
+    ("filter", "ifft", 600.0),
+    ("ifft", "filter", 600.0),
+    ("ifft", "memory", 200.0),
+    ("memory", "display", 200.0),
+    ("arm", "memory", 200.0),
+    ("display", "arm", 200.0),
+)
+
+
+def dsp_filter() -> CoreGraph:
+    """The 6-core DSP filter core graph."""
+    return CoreGraph.from_flows(DSP_FLOWS, name="dsp")
+
+
+def dsp_mesh(link_bandwidth: float = 1600.0) -> NoCTopology:
+    """The 2x3 mesh of Figure 5(b) (six routers, one per core)."""
+    return NoCTopology.mesh(3, 2, link_bandwidth=link_bandwidth)

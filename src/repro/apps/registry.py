@@ -1,0 +1,48 @@
+"""Name -> core-graph registry for the CLI, experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.dsd import dsd
+from repro.apps.dsp import dsp_filter
+from repro.apps.mpeg4 import mpeg4
+from repro.apps.mwa import mwa
+from repro.apps.mwag import mwag
+from repro.apps.pip_app import pip
+from repro.apps.vopd import vopd
+from repro.errors import GraphError
+from repro.graphs.core_graph import CoreGraph
+
+#: The six video applications in the paper's presentation order (Fig 3/4).
+VIDEO_APPS: tuple[str, ...] = ("mpeg4", "vopd", "pip", "mwa", "mwag", "dsd")
+
+_FACTORIES: dict[str, Callable[[], CoreGraph]] = {
+    "mpeg4": mpeg4,
+    "vopd": vopd,
+    "pip": pip,
+    "mwa": mwa,
+    "mwag": mwag,
+    "dsd": dsd,
+    "dsp": dsp_filter,
+}
+
+
+def get_app(name: str) -> CoreGraph:
+    """Build the named application core graph.
+
+    Raises:
+        GraphError: for unknown names; the message lists valid ones.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise GraphError(
+            f"unknown application {name!r}; known: {', '.join(sorted(_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def all_apps() -> dict[str, CoreGraph]:
+    """Every registered application, keyed by name."""
+    return {name: factory() for name, factory in _FACTORIES.items()}

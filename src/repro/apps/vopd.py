@@ -1,0 +1,46 @@
+"""Video Object Plane Decoder core graph (Figure 1 / Figure 2a; 16 cores).
+
+The edge bandwidths are the figure's labels, in MB/s:
+``{70, 362, 362, 362, 357, 353, 300, 313, 313, 313, 500, 94, 157, 27, 49}``
+plus six low-rate 16 MB/s control/context edges.  The wiring follows the
+MPEG-4 VOP decoding pipeline the figure depicts: variable-length decoding ->
+run-length decoding -> inverse scan -> AC/DC prediction (with the stripe
+memory feedback) -> inverse quantization -> IDCT -> up-sampling (fed by the
+reference memory) -> VOP reconstruction -> padding -> VOP memory, with the
+arithmetic decoder / context-calculation / demux front end on the 16 MB/s
+edges.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.core_graph import CoreGraph
+
+#: (src, dst, MB/s) — every edge of Figure 2(a).
+VOPD_FLOWS: tuple[tuple[str, str, float], ...] = (
+    ("demux", "arith_dec", 16.0),
+    ("demux", "vld", 16.0),
+    ("arith_dec", "ctx_calc", 16.0),
+    ("ctx_calc", "arith_dec", 16.0),
+    ("arith_dec", "mem", 16.0),
+    ("mem", "vld", 16.0),
+    ("vld", "run_le_dec", 70.0),
+    ("run_le_dec", "inv_scan", 362.0),
+    ("inv_scan", "acdc_pred", 362.0),
+    ("acdc_pred", "iquant", 362.0),
+    ("acdc_pred", "stripe_mem", 49.0),
+    ("stripe_mem", "acdc_pred", 27.0),
+    ("iquant", "idct", 357.0),
+    ("idct", "up_samp", 353.0),
+    ("up_samp", "vop_rec", 300.0),
+    ("ref_mem", "up_samp", 500.0),
+    ("vop_rec", "pad", 313.0),
+    ("pad", "vop_mem", 313.0),
+    ("vop_mem", "ref_mem", 313.0),
+    ("vop_mem", "pad", 94.0),
+    ("vop_rec", "mem", 157.0),
+)
+
+
+def vopd() -> CoreGraph:
+    """The 16-core VOPD core graph with Figure 1's bandwidths."""
+    return CoreGraph.from_flows(VOPD_FLOWS, name="vopd")

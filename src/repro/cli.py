@@ -1,0 +1,270 @@
+"""Command-line interface: ``nmap-noc`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``list-apps`` — the registered application core graphs.
+* ``map`` — map an application (built-in or JSON file) onto a mesh with a
+  chosen algorithm; prints the placement grid, cost and bandwidth figures;
+  optional JSON/DOT output.
+* ``simulate`` — run the packet-level simulator on a mapped application and
+  report latency statistics.
+* ``design`` — compile the mapped NoC and emit the SystemC-style netlist.
+* ``experiment`` — regenerate a paper table/figure (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import all_apps, get_app
+from repro.design import compile_design, emit_netlist
+from repro.errors import ReproError
+from repro.experiments.runner import EXPERIMENTS, render_all, run_experiment
+from repro.graphs.commodities import build_commodities
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.io import load_core_graph, mapping_to_dot
+from repro.graphs.topology import NoCTopology
+from repro.mapping import (
+    annealing_mapping,
+    gmap,
+    nmap_single_path,
+    nmap_with_splitting,
+    pbb,
+    pmap,
+)
+from repro.mapping.base import MappingResult
+from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
+from repro.routing.min_path import min_path_routing
+from repro.simnoc import SimConfig, simulate_mapping
+
+_ALGORITHMS = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
+
+
+def _load_app(spec: str) -> CoreGraph:
+    """Resolve an app name or a path to a core-graph JSON file."""
+    if spec.endswith(".json") or "/" in spec:
+        return load_core_graph(Path(spec))
+    return get_app(spec)
+
+
+def _build_mesh(app: CoreGraph, mesh_spec: str | None, link_bw: float | None) -> NoCTopology:
+    bandwidth = link_bw if link_bw is not None else app.total_bandwidth()
+    if mesh_spec is None:
+        return NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=bandwidth)
+    width_str, _, height_str = mesh_spec.lower().partition("x")
+    try:
+        return NoCTopology.mesh(int(width_str), int(height_str), link_bandwidth=bandwidth)
+    except ValueError:
+        raise ReproError(f"mesh must look like '4x4', got {mesh_spec!r}") from None
+
+
+def _run_algorithm(name: str, app: CoreGraph, mesh: NoCTopology) -> MappingResult:
+    if name == "nmap":
+        return nmap_single_path(app, mesh)
+    if name == "nmap-tm":
+        return nmap_with_splitting(app, mesh, quadrant_only=True)
+    if name == "nmap-ta":
+        return nmap_with_splitting(app, mesh, quadrant_only=False)
+    if name == "pmap":
+        return pmap(app, mesh)
+    if name == "gmap":
+        return gmap(app, mesh)
+    if name == "pbb":
+        return pbb(app, mesh)
+    if name == "annealing":
+        return annealing_mapping(app, mesh)
+    raise ReproError(f"unknown algorithm {name!r}; known: {', '.join(_ALGORITHMS)}")
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_list_apps(_args: argparse.Namespace) -> int:
+    for name, app in sorted(all_apps().items()):
+        print(
+            f"{name:8s} {app.num_cores:3d} cores {app.num_flows:3d} flows "
+            f"{app.total_bandwidth():8.0f} MB/s total"
+        )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    app = _load_app(args.app)
+    mesh = _build_mesh(app, args.mesh, args.link_bw)
+    result = _run_algorithm(args.algorithm, app, mesh)
+    print(f"application : {app.name} ({app.num_cores} cores, {app.num_flows} flows)")
+    print(f"mesh        : {mesh.width}x{mesh.height}, link BW {mesh.min_link_bandwidth():.0f} MB/s")
+    print(f"algorithm   : {result.algorithm}")
+    print(f"comm cost   : {result.comm_cost}")
+    print(f"feasible    : {result.feasible}")
+    print("placement   :")
+    print(result.mapping.render())
+    if result.feasible:
+        bw_single, _ = min_bandwidth_min_path(result.mapping)
+        bw_split, _ = min_bandwidth_split(result.mapping)
+        print(f"min link BW : {bw_single:.0f} MB/s single-path, {bw_split:.0f} MB/s split")
+    if args.out_json:
+        payload = {
+            "app": app.name,
+            "mesh": [mesh.width, mesh.height],
+            "algorithm": result.algorithm,
+            "comm_cost": result.comm_cost,
+            "feasible": result.feasible,
+            "placement": result.mapping.placement,
+        }
+        Path(args.out_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out_json}")
+    if args.out_dot:
+        Path(args.out_dot).write_text(mapping_to_dot(mesh, result.mapping.node_contents))
+        print(f"wrote {args.out_dot}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    app = _load_app(args.app)
+    mesh = _build_mesh(app, args.mesh, args.link_bw)
+    result = _run_algorithm(args.algorithm, app, mesh)
+    commodities = build_commodities(app, result.mapping)
+    routing = (
+        result.routing
+        if result.routing is not None and args.algorithm.startswith("nmap-t")
+        else min_path_routing(mesh, commodities)
+    )
+    config = SimConfig(
+        measure_cycles=args.cycles,
+        mean_burst_packets=args.burst,
+        seed=args.seed,
+    )
+    report = simulate_mapping(mesh, commodities, routing, config)
+    stats = report.stats
+    print(f"packets measured : {stats.count}")
+    print(f"latency mean     : {stats.mean:.1f} cycles (network {stats.mean_network:.1f})")
+    print(f"latency p50/p95  : {stats.p50:.0f} / {stats.p95:.0f} cycles")
+    print(f"latency max      : {stats.maximum:.0f} cycles")
+    hottest = max(report.link_utilization.items(), key=lambda item: item[1])
+    print(f"hottest link     : {hottest[0][0]}->{hottest[0][1]} at {hottest[1]*100:.0f}% util")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    app = _load_app(args.app)
+    mesh = _build_mesh(app, args.mesh, args.link_bw)
+    result = _run_algorithm(args.algorithm, app, mesh)
+    commodities = build_commodities(app, result.mapping)
+    routing = min_path_routing(mesh, commodities)
+    design = compile_design(result.mapping, routing)
+    for key, value in design.summary().items():
+        print(f"{key:20s} {value}")
+    netlist = emit_netlist(design)
+    if args.out:
+        Path(args.out).write_text(netlist)
+        print(f"wrote {args.out}")
+    else:
+        print()
+        print(netlist)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    app = _load_app(args.app)
+    mesh = _build_mesh(app, args.mesh, args.link_bw)
+    print(
+        f"{app.name} on {mesh.width}x{mesh.height} mesh, "
+        f"link BW {mesh.min_link_bandwidth():.0f} MB/s"
+    )
+    print(f"{'algorithm':>10} {'comm cost':>10} {'feasible':>9} {'minBW(1path)':>13} {'minBW(split)':>13}")
+    for name in args.algorithms:
+        result = _run_algorithm(name, app, mesh)
+        if result.feasible:
+            single_bw, _ = min_bandwidth_min_path(result.mapping)
+            split_bw, _ = min_bandwidth_split(result.mapping)
+            print(
+                f"{name:>10} {result.comm_cost:>10.0f} {'yes':>9} "
+                f"{single_bw:>13.0f} {split_bw:>13.0f}"
+            )
+        else:
+            print(f"{name:>10} {'inf':>10} {'no':>9} {'-':>13} {'-':>13}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        print(render_all())
+    else:
+        print(run_experiment(args.name).render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmap-noc",
+        description="NMAP reproduction: bandwidth-constrained core mapping onto NoCs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list built-in application core graphs")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", required=True, help="app name or core-graph JSON path")
+        p.add_argument("--algorithm", default="nmap", choices=_ALGORITHMS)
+        p.add_argument("--mesh", default=None, help="mesh size like 4x4 (default: smallest fit)")
+        p.add_argument("--link-bw", type=float, default=None, help="uniform link BW in MB/s")
+
+    p_map = sub.add_parser("map", help="map an application onto a mesh")
+    add_common(p_map)
+    p_map.add_argument("--out-json", default=None, help="write mapping JSON here")
+    p_map.add_argument("--out-dot", default=None, help="write Graphviz DOT here")
+
+    p_sim = sub.add_parser("simulate", help="simulate a mapped application")
+    add_common(p_sim)
+    p_sim.add_argument("--cycles", type=int, default=20_000, help="measured cycles")
+    p_sim.add_argument("--burst", type=float, default=4.0, help="mean packets per burst")
+    p_sim.add_argument("--seed", type=int, default=1)
+
+    p_design = sub.add_parser("design", help="compile the NoC and emit a netlist")
+    add_common(p_design)
+    p_design.add_argument("--out", default=None, help="write the netlist here")
+
+    p_cmp = sub.add_parser("compare", help="run several algorithms on one app")
+    p_cmp.add_argument("--app", required=True, help="app name or core-graph JSON path")
+    p_cmp.add_argument("--mesh", default=None, help="mesh size like 4x4")
+    p_cmp.add_argument("--link-bw", type=float, default=None, help="uniform link BW in MB/s")
+    p_cmp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["pmap", "gmap", "pbb", "nmap"],
+        choices=_ALGORITHMS,
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-apps": _cmd_list_apps,
+        "map": _cmd_map,
+        "simulate": _cmd_simulate,
+        "design": _cmd_design,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""NoC design generation — the ×pipes / ×pipesCompiler substitute.
+
+The paper instantiates the mapped DSP system with parameterizable SystemC
+macros (switches, links, network interfaces) via ×pipesCompiler and reports
+the resulting design figures in Table 3.  This package mirrors that step:
+:func:`compile_design` turns a mapping + routing into a
+:class:`NocDesign` — concrete switch/NI/link instances with area and delay
+bookkeeping — and :func:`emit_netlist` renders the SystemC-style structural
+netlist a downstream flow would consume.
+"""
+
+from repro.design.compiler import NocDesign, compile_design
+from repro.design.components import (
+    LinkInstance,
+    NIInstance,
+    SwitchInstance,
+    XpipesLibrary,
+)
+from repro.design.netlist import emit_netlist
+
+__all__ = [
+    "LinkInstance",
+    "NIInstance",
+    "NocDesign",
+    "SwitchInstance",
+    "XpipesLibrary",
+    "compile_design",
+    "emit_netlist",
+]

@@ -1,0 +1,143 @@
+"""Compile a mapping + routing into a concrete NoC design.
+
+This is the ×pipesCompiler step (§7.2): "the appropriate switches, links and
+network interfaces are chosen and added to the cores".  Switches are
+instantiated only where needed — at occupied nodes and on nodes that carry
+transit traffic — with port counts matching their used connectivity, so the
+design reflects what the mapping actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.design.components import (
+    LinkInstance,
+    NIInstance,
+    SwitchInstance,
+    XpipesLibrary,
+)
+from repro.errors import DesignError
+from repro.mapping.base import Mapping
+from repro.routing.base import RoutingResult
+from repro.routing.tables import table_overhead_bits
+
+
+@dataclass
+class NocDesign:
+    """A generated NoC design: component instances plus summary figures."""
+
+    name: str
+    switches: list[SwitchInstance] = field(default_factory=list)
+    interfaces: list[NIInstance] = field(default_factory=list)
+    links: list[LinkInstance] = field(default_factory=list)
+    library: XpipesLibrary = field(default_factory=XpipesLibrary)
+    routing_table_bits: int = 0
+    max_link_load_mbps: float = 0.0
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(s.area_mm2 for s in self.switches) + sum(
+            n.area_mm2 for n in self.interfaces
+        )
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.switches)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def summary(self) -> dict[str, float]:
+        """Table 3-style design figures."""
+        return {
+            "switches": float(self.num_switches),
+            "nis": float(len(self.interfaces)),
+            "links": float(self.num_links),
+            "total_area_mm2": round(self.total_area_mm2, 3),
+            "switch_delay_cycles": float(self.library.switch_delay_cycles),
+            "packet_bytes": float(self.library.packet_bytes),
+            "routing_table_bits": float(self.routing_table_bits),
+            "max_link_load_mbps": round(self.max_link_load_mbps, 1),
+        }
+
+
+def compile_design(
+    mapping: Mapping,
+    routing: RoutingResult,
+    library: XpipesLibrary | None = None,
+    name: str | None = None,
+) -> NocDesign:
+    """Instantiate switches, NIs and links for a mapped application.
+
+    Args:
+        mapping: complete core-to-node mapping.
+        routing: the routing whose links determine which physical links and
+            switch ports get instantiated.
+        library: component library (defaults to the paper's Table 3 values).
+        name: design name; defaults to ``<app>-noc``.
+
+    Raises:
+        DesignError: if the mapping is incomplete.
+    """
+    if not mapping.is_complete:
+        raise DesignError(
+            f"mapping covers {mapping.num_mapped}/{mapping.core_graph.num_cores} cores"
+        )
+    library = library or XpipesLibrary()
+    topology = mapping.topology
+    loads = routing.link_loads()
+    used_links = {link for link, load in loads.items() if load > 0}
+
+    # A switch is needed where a core sits or where traffic transits.
+    switch_nodes = set(mapping.used_nodes())
+    for src, dst in used_links:
+        switch_nodes.add(src)
+        switch_nodes.add(dst)
+
+    design = NocDesign(
+        name=name or f"{mapping.core_graph.name}-noc",
+        library=library,
+        routing_table_bits=table_overhead_bits(routing),
+        max_link_load_mbps=routing.max_link_load(),
+    )
+    for node in sorted(switch_nodes):
+        used_ports = {
+            neighbor
+            for neighbor in topology.neighbors(node)
+            if (node, neighbor) in used_links or (neighbor, node) in used_links
+        }
+        num_ports = len(used_ports) + (1 if mapping.core_at(node) else 0)
+        num_ports = max(2, num_ports)
+        design.switches.append(
+            SwitchInstance(
+                name=f"sw{node}",
+                node=node,
+                num_ports=num_ports,
+                area_mm2=library.switch_area_mm2(num_ports),
+                delay_cycles=library.switch_delay_cycles,
+            )
+        )
+
+    for core, node in sorted(mapping.placement.items()):
+        design.interfaces.append(
+            NIInstance(
+                name=f"ni_{core}",
+                core=core,
+                node=node,
+                area_mm2=library.ni_area_mm2,
+            )
+        )
+
+    for src, dst in sorted(used_links):
+        design.links.append(
+            LinkInstance(
+                name=f"link_{src}_{dst}",
+                src_node=src,
+                dst_node=dst,
+                bandwidth_mbps=topology.link_bandwidth(src, dst),
+                length_mm=library.link_mm,
+            )
+        )
+    return design

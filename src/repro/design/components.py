@@ -1,0 +1,82 @@
+"""Component library: parameterizable switches, NIs and links.
+
+The numbers default to Table 3 of the paper (×pipes macros in a 0.13um
+flow): a 0.6 mm^2 network interface, a 1.08 mm^2 switch with a 7-cycle
+traversal delay and 64-byte packets.  Everything is parameterizable the way
+×pipes' SystemC macros are — a different library is one constructor call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class XpipesLibrary:
+    """Technology/library parameters used when instantiating components.
+
+    Attributes:
+        ni_area_mm2: area of one network interface (Table 3: 0.6).
+        switch_base_area_mm2: area of one 5x5 mesh switch (Table 3: 1.08).
+        switch_delay_cycles: switch traversal delay (Table 3: 7).
+        packet_bytes: packet size the NIs produce (Table 3: 64).
+        flit_bits: physical flit width.
+        buffer_depth_flits: input buffer depth per switch port.
+        link_mm: nominal link length in mm (mesh pitch).
+    """
+
+    ni_area_mm2: float = 0.6
+    switch_base_area_mm2: float = 1.08
+    switch_delay_cycles: int = 7
+    packet_bytes: int = 64
+    flit_bits: int = 32
+    buffer_depth_flits: int = 8
+    link_mm: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ni_area_mm2 <= 0 or self.switch_base_area_mm2 <= 0:
+            raise DesignError("component areas must be positive")
+        if self.switch_delay_cycles < 1:
+            raise DesignError("switch delay must be at least one cycle")
+        if self.packet_bytes < 1 or self.flit_bits < 1:
+            raise DesignError("packet and flit sizes must be positive")
+
+    def switch_area_mm2(self, num_ports: int) -> float:
+        """Area of a switch scaled by port count (crossbar grows ~n^2/25)."""
+        if num_ports < 2:
+            raise DesignError(f"a switch needs >= 2 ports, got {num_ports}")
+        return self.switch_base_area_mm2 * (num_ports * num_ports) / 25.0
+
+
+@dataclass(frozen=True)
+class SwitchInstance:
+    """One instantiated switch at a mesh node."""
+
+    name: str
+    node: int
+    num_ports: int
+    area_mm2: float
+    delay_cycles: int
+
+
+@dataclass(frozen=True)
+class NIInstance:
+    """One network interface joining a core to its switch."""
+
+    name: str
+    core: str
+    node: int
+    area_mm2: float
+
+
+@dataclass(frozen=True)
+class LinkInstance:
+    """One directed physical link between two switches."""
+
+    name: str
+    src_node: int
+    dst_node: int
+    bandwidth_mbps: float
+    length_mm: float

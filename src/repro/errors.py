@@ -1,0 +1,41 @@
+"""Exception hierarchy for the NMAP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  Subclasses partition failures by
+subsystem (graphs, mapping, routing, LP solving, simulation, design
+generation) which keeps error handling in tests and tools precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """A core graph or NoC topology graph is malformed or misused."""
+
+
+class MappingError(ReproError):
+    """A core-to-node mapping is invalid, incomplete, or impossible."""
+
+
+class RoutingError(ReproError):
+    """A routing request cannot be carried out on the given topology."""
+
+
+class BandwidthError(RoutingError):
+    """Bandwidth constraints (Inequality 3 of the paper) cannot be met."""
+
+
+class SolverError(ReproError):
+    """The LP/ILP backend failed or returned an unusable status."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level NoC simulator was configured or driven incorrectly."""
+
+
+class DesignError(ReproError):
+    """NoC design generation (the ×pipesCompiler analogue) failed."""

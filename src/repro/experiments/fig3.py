@@ -1,0 +1,74 @@
+"""Figure 3: communication cost of PMAP/GMAP/PBB/NMAP on six video apps.
+
+The paper plots Equation 7's cost (hops x bandwidth) per application under
+the same bandwidth constraints for every algorithm.  The expected shape:
+NMAP and PBB track each other and beat PMAP and GMAP on every application.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import VIDEO_APPS, get_app
+from repro.experiments.common import (
+    ExperimentTable,
+    generous_link_bandwidth,
+    mesh_for_app,
+)
+from repro.mapping import gmap, nmap_single_path, pbb, pmap
+from repro.mapping.base import MappingResult
+
+ALGORITHMS: dict[str, Callable[..., MappingResult]] = {
+    "pmap": pmap,
+    "gmap": gmap,
+    "pbb": pbb,
+    "nmap": nmap_single_path,
+}
+
+
+def run_fig3(
+    apps: tuple[str, ...] = VIDEO_APPS,
+    algorithms: tuple[str, ...] = ("pmap", "gmap", "pbb", "nmap"),
+    pbb_max_queue: int = 1000,
+) -> ExperimentTable:
+    """Regenerate Figure 3's data.
+
+    Args:
+        apps: application names (defaults to the paper's six).
+        algorithms: which algorithms to run (subset for quick checks).
+        pbb_max_queue: PBB's bounded queue length.
+
+    Returns:
+        Table with one row per application and one cost column per
+        algorithm.
+    """
+    table = ExperimentTable(
+        title="Figure 3 - communication cost (hops x MB/s)",
+        headers=["app"] + [name.upper() for name in algorithms],
+        notes=[
+            "mesh: smallest near-square fitting the app; uniform link bandwidth = "
+            "total app bandwidth (all algorithms feasible, pure cost comparison)",
+            f"pbb max_queue = {pbb_max_queue}",
+        ],
+    )
+    for app_name in apps:
+        app = get_app(app_name)
+        mesh = mesh_for_app(app, generous_link_bandwidth(app))
+        row: list[object] = [app_name]
+        for algorithm in algorithms:
+            runner = ALGORITHMS[algorithm]
+            if algorithm == "pbb":
+                result = runner(app, mesh, max_queue=pbb_max_queue)
+            else:
+                result = runner(app, mesh)
+            row.append(result.comm_cost)
+        table.rows.append(row)
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_fig3().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

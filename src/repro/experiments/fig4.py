@@ -1,0 +1,81 @@
+"""Figure 4: minimum link bandwidth needed per algorithm and routing scheme.
+
+Seven bars per application in the paper:
+
+* DPMAP, DGMAP — PMAP/GMAP mappings under dimension-ordered (XY) routing;
+* PMAP, GMAP, NMAP — the same mappings under single minimum-path routing
+  (the load-balancing quadrant heuristic);
+* NMAPTM — the NMAP mapping with traffic split across minimum paths
+  (quadrant-restricted min-congestion LP);
+* NMAPTA — the NMAP mapping with traffic split across all paths.
+
+The metric is the smallest uniform link capacity satisfying Inequality 3,
+i.e. the maximum aggregate link load (LP optimum for the split schemes).
+Expected shape: splitting roughly halves the requirement; NMAPTA <= NMAPTM
+<= single-path <= dimension-ordered.
+"""
+
+from __future__ import annotations
+
+from repro.apps import VIDEO_APPS, get_app
+from repro.experiments.common import (
+    ExperimentTable,
+    generous_link_bandwidth,
+    mesh_for_app,
+)
+from repro.mapping import gmap, nmap_single_path, pmap
+from repro.metrics import (
+    min_bandwidth_min_path,
+    min_bandwidth_split,
+    min_bandwidth_xy,
+)
+
+SCHEMES = ("DPMAP", "DGMAP", "PMAP", "GMAP", "NMAP", "NMAPTM", "NMAPTA")
+
+
+def run_fig4(apps: tuple[str, ...] = VIDEO_APPS) -> ExperimentTable:
+    """Regenerate Figure 4's data (one row per app, one column per scheme)."""
+    table = ExperimentTable(
+        title="Figure 4 - minimum uniform link bandwidth (MB/s)",
+        headers=["app", *SCHEMES],
+        notes=[
+            "D* = dimension-ordered routing; PMAP/GMAP/NMAP = single min-path "
+            "heuristic; NMAPTM/NMAPTA = min-congestion LP over minimum/all paths",
+        ],
+    )
+    for app_name in apps:
+        app = get_app(app_name)
+        mesh = mesh_for_app(app, generous_link_bandwidth(app))
+        pmap_result = pmap(app, mesh)
+        gmap_result = gmap(app, mesh)
+        nmap_result = nmap_single_path(app, mesh)
+
+        dpmap_bw, _ = min_bandwidth_xy(pmap_result.mapping)
+        dgmap_bw, _ = min_bandwidth_xy(gmap_result.mapping)
+        pmap_bw, _ = min_bandwidth_min_path(pmap_result.mapping)
+        gmap_bw, _ = min_bandwidth_min_path(gmap_result.mapping)
+        nmap_bw, _ = min_bandwidth_min_path(nmap_result.mapping)
+        nmaptm_bw, _ = min_bandwidth_split(nmap_result.mapping, quadrant_only=True)
+        nmapta_bw, _ = min_bandwidth_split(nmap_result.mapping, quadrant_only=False)
+
+        table.rows.append(
+            [
+                app_name,
+                dpmap_bw,
+                dgmap_bw,
+                pmap_bw,
+                gmap_bw,
+                nmap_bw,
+                nmaptm_bw,
+                nmapta_bw,
+            ]
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_fig4().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Figure 5c: average packet latency vs link bandwidth, single vs split.
+
+The paper maps the 6-core DSP filter onto the 2x3 mesh, generates the NoC
+with ×pipes and sweeps link bandwidth from 1.1 to 1.8 GB/s, plotting average
+packet latency for single minimum-path routing ("Minp") and split-traffic
+routing ("Split").  Expected shape: latency falls as bandwidth rises; the
+single-path curve lies above the split curve at low bandwidth and rises much
+more sharply (wormhole blocking snowballs on the 600 MB/s hot link).
+
+Here the substitute simulator (:mod:`repro.simnoc`) runs the same sweep.
+The mapping is produced by NMAPTM under a tight link budget so the heavy
+Filter<->IFFT pair lands two hops apart with two disjoint minimum paths —
+split routing then has equal hop counts (the paper's low-jitter argument)
+and the comparison isolates queueing, as in the paper.  Results average a
+few seeds since bursty traffic is noisy.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.apps.dsp import dsp_filter, dsp_mesh
+from repro.experiments.common import ExperimentTable
+from repro.graphs.commodities import build_commodities
+from repro.mapping import nmap_with_splitting
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+from repro.simnoc import SimConfig, simulate_mapping
+
+#: Link-bandwidth sweep of the paper's x-axis (GB/s).
+SWEEP_GBPS = (1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8)
+
+
+def run_fig5c(
+    sweep_gbps: tuple[float, ...] = SWEEP_GBPS,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    measure_cycles: int = 20_000,
+    mean_burst_packets: float = 2.0,
+) -> ExperimentTable:
+    """Regenerate Figure 5c's two latency curves.
+
+    Args:
+        sweep_gbps: link bandwidths to simulate.
+        seeds: traffic seeds averaged per point.
+        measure_cycles: measurement window per run.
+        mean_burst_packets: traffic burstiness (the paper's traffic "is
+            bursty in nature"; 2 packets/burst keeps the network the
+            bottleneck rather than the injection queue).
+    """
+    app = dsp_filter()
+    mesh = dsp_mesh(link_bandwidth=500.0)
+    mapped = nmap_with_splitting(app, mesh, quadrant_only=True)
+    commodities = build_commodities(app, mapped.mapping)
+    single = min_path_routing(mesh, commodities)
+    _, split = solve_min_congestion(mesh, commodities, quadrant_only=True)
+
+    table = ExperimentTable(
+        title="Figure 5c - avg packet latency (cycles) vs link bandwidth (GB/s)",
+        headers=["link_bw_gbps", "minp_latency", "split_latency"],
+        notes=[
+            "DSP filter on 2x3 mesh; NMAPTM mapping; 64 B packets; "
+            "7-cycle switch delay; wormhole with credit flow control",
+            f"average over seeds {seeds}; burst mean {mean_burst_packets} packets",
+            f"single-path max link load {single.max_link_load():.0f} MB/s vs "
+            f"split {split.max_link_load():.0f} MB/s",
+        ],
+    )
+    for gbps in sweep_gbps:
+        minp_means: list[float] = []
+        split_means: list[float] = []
+        for seed in seeds:
+            config = SimConfig(
+                mean_burst_packets=mean_burst_packets,
+                buffer_depth=16,
+                measure_cycles=measure_cycles,
+                seed=seed,
+            )
+            rate = config.gbps_link_rate(gbps)
+            minp_report = simulate_mapping(
+                mesh, commodities, single, config, link_rate_flits_per_cycle=rate
+            )
+            split_report = simulate_mapping(
+                mesh, commodities, split, config, link_rate_flits_per_cycle=rate
+            )
+            minp_means.append(minp_report.stats.mean)
+            split_means.append(split_report.stats.mean)
+        table.rows.append(
+            [gbps, round(mean(minp_means), 1), round(mean(split_means), 1)]
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_fig5c().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,60 @@
+"""Run every experiment and render the full report (CLI: ``experiment all``)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentTable
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5c import run_fig5c
+from repro.experiments.ilp_gap import run_ilp_gap
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.topology_explore import run_topology_explore
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig5c": run_fig5c,
+    "table3": run_table3,
+    "ilp-gap": run_ilp_gap,
+    "topology": run_topology_explore,
+}
+
+
+def run_experiment(name: str) -> ExperimentTable:
+    """Run one experiment by name.
+
+    Raises:
+        ReproError: for unknown experiment names.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def run_all() -> list[ExperimentTable]:
+    """Run every experiment in a stable order."""
+    return [runner() for runner in EXPERIMENTS.values()]
+
+
+def render_all() -> str:
+    """The full paper-reproduction report as one text document."""
+    return "\n".join(table.render() for table in run_all())
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(render_all())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Table 1: cost ratio (cstr) and bandwidth ratio (bwr) versus NMAP-split.
+
+The paper reports, per application, the ratio of the average cost and
+average bandwidth requirement of {PMAP, GMAP, PBB} to NMAP with
+split-traffic routing; paper averages: cstr = 1.47, bwr = 2.13 ("an average
+of 53% savings in bandwidth needs ... 32% reduction in cost").
+
+Derivation here (matching the paper's text):
+
+* ``cstr(app)`` = mean(comm cost of PMAP, GMAP, PBB) / comm cost of NMAP
+  (Figure 3's data — cost does not change with splitting when constraints
+  are loose, since MCF2's optimum then equals the hop-weighted cost).
+* ``bwr(app)`` = mean(min BW of PMAP, GMAP, PBB under their single-path
+  routing) / min BW of NMAPTA (Figure 4's data; PBB's bandwidth uses the
+  same min-path heuristic).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.apps import VIDEO_APPS, get_app
+from repro.experiments.common import (
+    ExperimentTable,
+    generous_link_bandwidth,
+    mesh_for_app,
+)
+from repro.mapping import gmap, nmap_single_path, pbb, pmap
+from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
+
+
+def run_table1(
+    apps: tuple[str, ...] = VIDEO_APPS,
+    pbb_max_queue: int = 1000,
+) -> ExperimentTable:
+    """Regenerate Table 1 (one row per app plus the average row)."""
+    table = ExperimentTable(
+        title="Table 1 - cost ratio (cstr) and bandwidth ratio (bwr) vs NMAP-split",
+        headers=["app", "cstr", "bwr"],
+        notes=[
+            "cstr = mean(cost PMAP,GMAP,PBB)/cost NMAP; "
+            "bwr = mean(minBW PMAP,GMAP,PBB under min-path)/minBW NMAPTA",
+            "paper averages: cstr 1.47, bwr 2.13",
+        ],
+    )
+    cost_ratios: list[float] = []
+    bw_ratios: list[float] = []
+    for app_name in apps:
+        app = get_app(app_name)
+        mesh = mesh_for_app(app, generous_link_bandwidth(app))
+        baselines = [
+            pmap(app, mesh),
+            gmap(app, mesh),
+            pbb(app, mesh, max_queue=pbb_max_queue),
+        ]
+        nmap_result = nmap_single_path(app, mesh)
+
+        cstr = mean(result.comm_cost for result in baselines) / nmap_result.comm_cost
+
+        baseline_bw = mean(
+            min_bandwidth_min_path(result.mapping)[0] for result in baselines
+        )
+        nmap_split_bw, _ = min_bandwidth_split(nmap_result.mapping, quadrant_only=False)
+        bwr = baseline_bw / nmap_split_bw
+
+        cost_ratios.append(cstr)
+        bw_ratios.append(bwr)
+        table.rows.append([app_name, round(cstr, 2), round(bwr, 2)])
+    table.rows.append(["avg", round(mean(cost_ratios), 2), round(mean(bw_ratios), 2)])
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_table1().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Topology exploration: mesh vs torus (the paper's stated future work).
+
+The conclusion proposes extending the approach "to map cores onto various
+NoC topologies for fast and efficient design space exploration for NoC
+topology selection".  This experiment does that selection for the paper's
+six applications: NMAP maps each app onto the mesh and the same-size torus,
+and the table compares communication cost and minimum split-traffic link
+bandwidth.  Wrap-around links can only shorten distances, so torus cost is
+never worse — the designer's question is whether the saving justifies the
+wiring, which is exactly what the two columns quantify.
+"""
+
+from __future__ import annotations
+
+from repro.apps import VIDEO_APPS, get_app
+from repro.experiments.common import ExperimentTable, generous_link_bandwidth
+from repro.graphs.topology import NoCTopology
+from repro.mapping import nmap_single_path
+from repro.metrics import min_bandwidth_split
+
+
+def run_topology_explore(apps: tuple[str, ...] = VIDEO_APPS) -> ExperimentTable:
+    """Compare NMAP results on mesh vs torus for each application."""
+    table = ExperimentTable(
+        title="Topology exploration - mesh vs torus (NMAP)",
+        headers=[
+            "app",
+            "mesh_cost",
+            "torus_cost",
+            "cost_saving_pct",
+            "mesh_splitBW",
+            "torus_splitBW",
+        ],
+        notes=[
+            "same node count per pair; torus adds wrap links (future-work "
+            "experiment, not in the paper's evaluation)",
+        ],
+    )
+    for app_name in apps:
+        app = get_app(app_name)
+        bandwidth = generous_link_bandwidth(app)
+        mesh = NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=bandwidth)
+        torus = NoCTopology.torus_grid(mesh.width, mesh.height, link_bandwidth=bandwidth)
+
+        mesh_result = nmap_single_path(app, mesh)
+        torus_result = nmap_single_path(app, torus)
+        mesh_bw, _ = min_bandwidth_split(mesh_result.mapping, quadrant_only=False)
+        torus_bw, _ = min_bandwidth_split(torus_result.mapping, quadrant_only=False)
+
+        saving = 100.0 * (1.0 - torus_result.comm_cost / mesh_result.comm_cost)
+        table.rows.append(
+            [
+                app_name,
+                mesh_result.comm_cost,
+                torus_result.comm_cost,
+                round(saving, 1),
+                round(mesh_bw, 1),
+                round(torus_bw, 1),
+            ]
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_topology_explore().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,28 @@
+"""Graph substrate: core graphs, NoC topology graphs, commodities, quadrants.
+
+This package implements Definitions 1 and 2 of the paper: the *core graph*
+``G(V, E)`` whose directed edges carry communication bandwidth demands, and
+the *NoC topology graph* ``P(U, F)`` whose directed edges carry link
+bandwidth capacities.  It also provides the commodity set ``D`` built from a
+mapping (Equation 2), quadrant subgraphs used by the ``shortestpath()``
+routine, a seeded random core-graph generator (substitute for LEDA, used by
+Table 2), and JSON/DOT serialization.
+"""
+
+from repro.graphs.commodities import Commodity, build_commodities
+from repro.graphs.core_graph import CoreGraph, TrafficFlow
+from repro.graphs.quadrant import quadrant_links, quadrant_nodes
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import Link, NoCTopology
+
+__all__ = [
+    "Commodity",
+    "CoreGraph",
+    "Link",
+    "NoCTopology",
+    "TrafficFlow",
+    "build_commodities",
+    "quadrant_links",
+    "quadrant_nodes",
+    "random_core_graph",
+]

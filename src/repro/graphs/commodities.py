@@ -1,0 +1,71 @@
+"""Commodities ``D`` (Equation 2): core-graph edges lifted onto mesh nodes.
+
+Once a mapping ``map: V -> U`` is fixed, every core-graph edge ``e_{i,j}``
+becomes a single-commodity flow ``d_k`` from ``map(v_i)`` to ``map(v_j)``
+with value ``vl(d_k) = comm_{i,j}``.  Routing algorithms consume this list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import MappingError
+from repro.graphs.core_graph import CoreGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mapping.base import Mapping
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """One single-commodity flow ``d_k``.
+
+    Attributes:
+        index: the commodity number ``k`` (position in the sorted order of
+            core-graph edges; stable across calls for a given graph).
+        src_core: producing core name ``v_i``.
+        dst_core: consuming core name ``v_j``.
+        src_node: mesh node ``map(v_i)``.
+        dst_node: mesh node ``map(v_j)``.
+        value: flow value ``vl(d_k)`` = bandwidth demand in MB/s.
+    """
+
+    index: int
+    src_core: str
+    dst_core: str
+    src_node: int
+    dst_node: int
+    value: float
+
+
+def build_commodities(core_graph: CoreGraph, mapping: "Mapping") -> list[Commodity]:
+    """Lift every core-graph edge onto the mesh through ``mapping``.
+
+    The list is ordered by decreasing flow value (ties broken by core names)
+    which is the processing order of the ``shortestpath()`` routine; the
+    ``index`` field preserves that rank.
+
+    Raises:
+        MappingError: if any endpoint core is unmapped.
+    """
+    flows = sorted(
+        core_graph.flows(), key=lambda flow: (-flow.bandwidth, flow.src, flow.dst)
+    )
+    commodities: list[Commodity] = []
+    for rank, flow in enumerate(flows):
+        if not mapping.is_mapped(flow.src):
+            raise MappingError(f"core {flow.src!r} is not mapped")
+        if not mapping.is_mapped(flow.dst):
+            raise MappingError(f"core {flow.dst!r} is not mapped")
+        commodities.append(
+            Commodity(
+                index=rank,
+                src_core=flow.src,
+                dst_core=flow.dst,
+                src_node=mapping.node_of(flow.src),
+                dst_node=mapping.node_of(flow.dst),
+                value=flow.bandwidth,
+            )
+        )
+    return commodities

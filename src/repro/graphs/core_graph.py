@@ -1,0 +1,250 @@
+"""The application *core graph* (Definition 1 of the paper).
+
+A :class:`CoreGraph` is a directed graph whose vertices are IP cores
+(processors, DSPs, memories, ...) and whose directed edges are communication
+flows labelled with average bandwidth demands in MB/s — exactly the
+``G(V, E)`` with edge weights ``comm_{i,j}`` used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True, order=True)
+class TrafficFlow:
+    """One directed communication edge ``e_{i,j}`` of the core graph.
+
+    Attributes:
+        src: name of the producing core ``v_i``.
+        dst: name of the consuming core ``v_j``.
+        bandwidth: average bandwidth demand ``comm_{i,j}`` in MB/s.
+    """
+
+    src: str
+    dst: str
+    bandwidth: float
+
+    def reversed(self) -> "TrafficFlow":
+        """Return the same flow with endpoints swapped (same bandwidth)."""
+        return TrafficFlow(self.dst, self.src, self.bandwidth)
+
+
+class CoreGraph:
+    """Directed, bandwidth-weighted communication graph between cores.
+
+    The class is a thin, explicit wrapper over adjacency dictionaries; it
+    offers exactly the queries the mapping and routing algorithms need
+    (bandwidth lookup, per-core totals, undirected collapse for
+    ``makeundirected()`` in the pseudo-code) plus serialization helpers.
+
+    Args:
+        name: human-readable application name (e.g. ``"vopd"``).
+    """
+
+    def __init__(self, name: str = "core-graph") -> None:
+        self.name = name
+        self._succ: dict[str, dict[str, float]] = {}
+        self._pred: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_core(self, core: str) -> None:
+        """Add a vertex; adding an existing vertex is a no-op."""
+        if not core:
+            raise GraphError("core name must be a non-empty string")
+        self._succ.setdefault(core, {})
+        self._pred.setdefault(core, {})
+
+    def add_traffic(self, src: str, dst: str, bandwidth: float) -> None:
+        """Add the directed edge ``src -> dst`` with the given MB/s demand.
+
+        Endpoints are created on demand.  Parallel edges are collapsed by
+        summing bandwidths (the paper treats each pair at most once, but
+        summing makes builders composable).
+
+        Raises:
+            GraphError: on self-loops or non-positive bandwidth.
+        """
+        if src == dst:
+            raise GraphError(f"self-loop traffic on core {src!r} is not allowed")
+        if bandwidth <= 0:
+            raise GraphError(
+                f"bandwidth for {src!r}->{dst!r} must be positive, got {bandwidth}"
+            )
+        self.add_core(src)
+        self.add_core(dst)
+        previous = self._succ[src].get(dst, 0.0)
+        self._succ[src][dst] = previous + float(bandwidth)
+        self._pred[dst][src] = previous + float(bandwidth)
+
+    @classmethod
+    def from_flows(
+        cls, flows: Iterable[TrafficFlow | tuple[str, str, float]], name: str = "core-graph"
+    ) -> "CoreGraph":
+        """Build a graph from an iterable of flows or ``(src, dst, bw)`` tuples."""
+        graph = cls(name=name)
+        for flow in flows:
+            if isinstance(flow, TrafficFlow):
+                graph.add_traffic(flow.src, flow.dst, flow.bandwidth)
+            else:
+                src, dst, bandwidth = flow
+                graph.add_traffic(src, dst, bandwidth)
+        return graph
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> list[str]:
+        """All vertex names, in insertion order."""
+        return list(self._succ)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_flows(self) -> int:
+        return sum(len(out) for out in self._succ.values())
+
+    def flows(self) -> Iterator[TrafficFlow]:
+        """Iterate over every directed edge as a :class:`TrafficFlow`."""
+        for src, out in self._succ.items():
+            for dst, bandwidth in out.items():
+                yield TrafficFlow(src, dst, bandwidth)
+
+    def has_core(self, core: str) -> bool:
+        return core in self._succ
+
+    def has_traffic(self, src: str, dst: str) -> bool:
+        return dst in self._succ.get(src, {})
+
+    def bandwidth(self, src: str, dst: str) -> float:
+        """Directed demand ``comm_{src,dst}``; 0.0 when the edge is absent."""
+        return self._succ.get(src, {}).get(dst, 0.0)
+
+    def successors(self, core: str) -> dict[str, float]:
+        """Outgoing neighbor -> bandwidth map for ``core``."""
+        self._require_core(core)
+        return dict(self._succ[core])
+
+    def predecessors(self, core: str) -> dict[str, float]:
+        """Incoming neighbor -> bandwidth map for ``core``."""
+        self._require_core(core)
+        return dict(self._pred[core])
+
+    def neighbors(self, core: str) -> set[str]:
+        """Cores communicating with ``core`` in either direction."""
+        self._require_core(core)
+        return set(self._succ[core]) | set(self._pred[core])
+
+    def core_traffic(self, core: str) -> float:
+        """Total bandwidth produced plus consumed by ``core`` (MB/s).
+
+        This is the "communication requirement" used by ``initialize()`` to
+        pick the seed core.
+        """
+        self._require_core(core)
+        return sum(self._succ[core].values()) + sum(self._pred[core].values())
+
+    def traffic_between(self, a: str, b: str) -> float:
+        """Undirected demand between two cores: ``comm_{a,b} + comm_{b,a}``."""
+        return self.bandwidth(a, b) + self.bandwidth(b, a)
+
+    def total_bandwidth(self) -> float:
+        """Sum of all edge bandwidths (each directed edge counted once)."""
+        return sum(flow.bandwidth for flow in self.flows())
+
+    def undirected_weights(self) -> dict[frozenset[str], float]:
+        """Collapse direction: ``makeundirected()`` from the pseudo-code.
+
+        Returns a map from the unordered core pair to the summed two-way
+        bandwidth.
+        """
+        collapsed: dict[frozenset[str], float] = {}
+        for flow in self.flows():
+            key = frozenset((flow.src, flow.dst))
+            collapsed[key] = collapsed.get(key, 0.0) + flow.bandwidth
+        return collapsed
+
+    def is_connected(self) -> bool:
+        """True when the undirected version of the graph is connected."""
+        if self.num_cores <= 1:
+            return True
+        seen = {self.cores[0]}
+        frontier = [self.cores[0]]
+        while frontier:
+            core = frontier.pop()
+            for other in self.neighbors(core):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == self.num_cores
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def renamed(self, renaming: dict[str, str]) -> "CoreGraph":
+        """Return a copy with cores renamed via ``renaming`` (total map)."""
+        missing = set(self._succ) - set(renaming)
+        if missing:
+            raise GraphError(f"renaming is missing cores: {sorted(missing)}")
+        graph = CoreGraph(name=self.name)
+        for core in self.cores:
+            graph.add_core(renaming[core])
+        for flow in self.flows():
+            graph.add_traffic(renaming[flow.src], renaming[flow.dst], flow.bandwidth)
+        return graph
+
+    def scaled(self, factor: float) -> "CoreGraph":
+        """Return a copy with every bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise GraphError(f"scale factor must be positive, got {factor}")
+        graph = CoreGraph(name=self.name)
+        for core in self.cores:
+            graph.add_core(core)
+        for flow in self.flows():
+            graph.add_traffic(flow.src, flow.dst, flow.bandwidth * factor)
+        return graph
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to a :class:`networkx.DiGraph` with ``bandwidth`` edge data."""
+        graph = nx.DiGraph(name=self.name)
+        graph.add_nodes_from(self.cores)
+        for flow in self.flows():
+            graph.add_edge(flow.src, flow.dst, bandwidth=flow.bandwidth)
+        return graph
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_core(self, core: str) -> None:
+        if core not in self._succ:
+            raise GraphError(f"unknown core {core!r} in graph {self.name!r}")
+
+    def __contains__(self, core: object) -> bool:
+        return core in self._succ
+
+    def __len__(self) -> int:
+        return self.num_cores
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoreGraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreGraph(name={self.name!r}, cores={self.num_cores}, "
+            f"flows={self.num_flows}, total_bw={self.total_bandwidth():.0f} MB/s)"
+        )

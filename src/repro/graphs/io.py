@@ -1,0 +1,127 @@
+"""Serialization for core graphs and topologies (JSON and Graphviz DOT).
+
+JSON is the interchange format used by the CLI (`nmap-noc map --app file.json`)
+and by users bringing their own applications; DOT export exists for quick
+visual inspection of core graphs and mapped meshes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+
+_SCHEMA_VERSION = 1
+
+
+def core_graph_to_dict(graph: CoreGraph) -> dict[str, Any]:
+    """A JSON-ready dictionary for a core graph."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "core-graph",
+        "name": graph.name,
+        "cores": graph.cores,
+        "flows": [
+            {"src": flow.src, "dst": flow.dst, "bandwidth": flow.bandwidth}
+            for flow in graph.flows()
+        ],
+    }
+
+
+def core_graph_from_dict(payload: dict[str, Any]) -> CoreGraph:
+    """Parse a dictionary produced by :func:`core_graph_to_dict`.
+
+    Raises:
+        GraphError: on unknown schema or malformed entries.
+    """
+    if payload.get("kind") != "core-graph":
+        raise GraphError(f"not a core-graph payload: kind={payload.get('kind')!r}")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise GraphError(f"unsupported schema version {payload.get('schema')!r}")
+    graph = CoreGraph(name=str(payload.get("name", "core-graph")))
+    for core in payload.get("cores", []):
+        graph.add_core(str(core))
+    for flow in payload.get("flows", []):
+        try:
+            graph.add_traffic(str(flow["src"]), str(flow["dst"]), float(flow["bandwidth"]))
+        except KeyError as exc:
+            raise GraphError(f"flow entry missing field: {flow!r}") from exc
+    return graph
+
+
+def save_core_graph(graph: CoreGraph, path: str | Path) -> None:
+    """Write a core graph as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(core_graph_to_dict(graph), indent=2) + "\n")
+
+
+def load_core_graph(path: str | Path) -> CoreGraph:
+    """Read a core graph from a JSON file written by :func:`save_core_graph`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON in {path}: {exc}") from exc
+    return core_graph_from_dict(payload)
+
+
+def topology_to_dict(topology: NoCTopology) -> dict[str, Any]:
+    """A JSON-ready dictionary for a topology (uniform or per-link capacity)."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "noc-topology",
+        "width": topology.width,
+        "height": topology.height,
+        "torus": topology.torus,
+        "links": [
+            {"src": link.src, "dst": link.dst, "bandwidth": link.bandwidth}
+            for link in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(payload: dict[str, Any]) -> NoCTopology:
+    """Parse a dictionary produced by :func:`topology_to_dict`."""
+    if payload.get("kind") != "noc-topology":
+        raise GraphError(f"not a topology payload: kind={payload.get('kind')!r}")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise GraphError(f"unsupported schema version {payload.get('schema')!r}")
+    topology = NoCTopology(
+        int(payload["width"]), int(payload["height"]), torus=bool(payload.get("torus", False))
+    )
+    for link in payload.get("links", []):
+        topology.set_link_bandwidth(int(link["src"]), int(link["dst"]), float(link["bandwidth"]))
+    return topology
+
+
+def core_graph_to_dot(graph: CoreGraph) -> str:
+    """Render a core graph in Graphviz DOT with bandwidth edge labels."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;"]
+    for core in graph.cores:
+        lines.append(f'  "{core}";')
+    for flow in graph.flows():
+        lines.append(f'  "{flow.src}" -> "{flow.dst}" [label="{flow.bandwidth:g}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mapping_to_dot(topology: NoCTopology, placement: dict[int, str | None]) -> str:
+    """Render a mapped mesh in DOT: one record node per cross-point.
+
+    Args:
+        topology: the mesh.
+        placement: node id -> core name (or None for an empty node).
+    """
+    lines = ["digraph mapping {", "  node [shape=record];"]
+    for node in topology.nodes:
+        x, y = topology.coords(node)
+        core = placement.get(node)
+        label = core if core is not None else "(empty)"
+        lines.append(f'  n{node} [label="u{node} ({x},{y})|{label}" pos="{x},{-y}!"];')
+    for src, dst in topology.link_keys():
+        if src < dst:
+            lines.append(f"  n{src} -> n{dst} [dir=both];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

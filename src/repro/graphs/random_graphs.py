@@ -1,0 +1,107 @@
+"""Seeded random core-graph generator (LEDA substitute for Table 2).
+
+The paper generates random core graphs of 25-65 cores with the LEDA package
+to compare NMAP against PBB at scale.  LEDA is proprietary; this module
+produces connected, directed, bandwidth-weighted graphs with the statistical
+shape of the paper's video workloads: a connected backbone (random spanning
+tree) plus extra cross edges, and bandwidths drawn log-uniformly from a
+video-like range (default 16-800 MB/s, matching the spread seen in Fig 1).
+
+Everything is driven by an explicit seed so Table 2 is reproducible bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import GraphError
+from repro.graphs.core_graph import CoreGraph
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    """Sample log-uniformly in ``[low, high]`` (heavier mass at small values)."""
+    return math.exp(rng.uniform(math.log(low), math.log(high)))
+
+
+def random_core_graph(
+    num_cores: int,
+    seed: int,
+    extra_edge_factor: float = 1.5,
+    bandwidth_range: tuple[float, float] = (16.0, 800.0),
+    name: str | None = None,
+) -> CoreGraph:
+    """Generate a connected random core graph.
+
+    Construction: a random spanning tree over shuffled cores guarantees
+    connectivity; then ``extra_edge_factor * num_cores`` additional distinct
+    directed edges are added between random non-adjacent pairs.  Edge
+    bandwidths are log-uniform in ``bandwidth_range`` and rounded to integers
+    (the paper's graphs carry integer MB/s labels).
+
+    Args:
+        num_cores: number of vertices (the paper sweeps 25..65).
+        seed: RNG seed; equal seeds give equal graphs.
+        extra_edge_factor: cross edges per core beyond the spanning tree.
+        bandwidth_range: inclusive (low, high) MB/s range.
+        name: graph name; defaults to ``random-<n>-s<seed>``.
+
+    Raises:
+        GraphError: on non-positive sizes or an empty bandwidth range.
+    """
+    if num_cores < 2:
+        raise GraphError(f"random core graph needs >= 2 cores, got {num_cores}")
+    low, high = bandwidth_range
+    if not (0 < low <= high):
+        raise GraphError(f"invalid bandwidth range {bandwidth_range}")
+    if extra_edge_factor < 0:
+        raise GraphError(f"extra_edge_factor must be >= 0, got {extra_edge_factor}")
+
+    rng = random.Random(seed)
+    graph = CoreGraph(name=name or f"random-{num_cores}-s{seed}")
+    cores = [f"c{i}" for i in range(num_cores)]
+    for core in cores:
+        graph.add_core(core)
+
+    shuffled = list(cores)
+    rng.shuffle(shuffled)
+    for position in range(1, num_cores):
+        parent = shuffled[rng.randrange(position)]
+        child = shuffled[position]
+        bandwidth = round(_log_uniform(rng, low, high))
+        src, dst = (parent, child) if rng.random() < 0.5 else (child, parent)
+        graph.add_traffic(src, dst, max(1.0, bandwidth))
+
+    target_extra = int(extra_edge_factor * num_cores)
+    attempts = 0
+    added = 0
+    max_attempts = 50 * max(1, target_extra)
+    while added < target_extra and attempts < max_attempts:
+        attempts += 1
+        src, dst = rng.sample(cores, 2)
+        if graph.has_traffic(src, dst):
+            continue
+        bandwidth = round(_log_uniform(rng, low, high))
+        graph.add_traffic(src, dst, max(1.0, bandwidth))
+        added += 1
+    return graph
+
+
+def random_graph_suite(
+    sizes: tuple[int, ...] = (25, 35, 45, 55, 65),
+    seed: int = 2004,
+    **kwargs: float,
+) -> list[CoreGraph]:
+    """The Table 2 workload: one random graph per size, derived seeds.
+
+    Args:
+        sizes: core counts to generate (paper: 25, 35, 45, 55, 65).
+        seed: master seed; each graph gets ``seed + size`` so individual
+            graphs can be regenerated in isolation.
+        **kwargs: forwarded to :func:`random_core_graph`.
+    """
+    return [
+        random_core_graph(size, seed=seed + size, **kwargs)  # type: ignore[arg-type]
+        for size in sizes
+    ]

@@ -1,0 +1,230 @@
+"""The *NoC topology graph* ``P(U, F)`` (Definition 2 of the paper).
+
+Vertices are mesh/torus cross-points addressed both by integer id and by
+``(x, y)`` coordinate; directed edges are physical links with bandwidth
+capacities ``bw_{i,j}``.  The paper restricts its exposition to meshes and
+tori, and so does this class, while keeping capacities per-link so that
+heterogeneous links remain expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """One directed physical link ``f_{i,j}`` with capacity in MB/s."""
+
+    src: int
+    dst: int
+    bandwidth: float
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+
+class NoCTopology:
+    """A mesh or torus NoC topology graph.
+
+    Nodes are numbered row-major: node ``y * width + x`` sits at coordinate
+    ``(x, y)``.  All queries the mapping/routing layers need are provided:
+    neighbor sets, Manhattan/torus hop distances, link capacity lookup and
+    (for meshes) the monotone "toward destination" link orientation used by
+    minimum-path routing.
+
+    Args:
+        width: number of columns.
+        height: number of rows.
+        link_bandwidth: uniform capacity assigned to every directed link.
+        torus: when True, add wrap-around links and use torus distances.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        link_bandwidth: float = 1000.0,
+        torus: bool = False,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise GraphError(f"mesh dimensions must be >= 1, got {width}x{height}")
+        if link_bandwidth <= 0:
+            raise GraphError(f"link bandwidth must be positive, got {link_bandwidth}")
+        self.width = width
+        self.height = height
+        self.torus = torus
+        self._links: dict[tuple[int, int], float] = {}
+        self._adjacency: dict[int, list[int]] = {node: [] for node in range(width * height)}
+        for node in range(width * height):
+            for neighbor in self._physical_neighbors(node):
+                self._add_link(node, neighbor, link_bandwidth)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def mesh(cls, width: int, height: int, link_bandwidth: float = 1000.0) -> "NoCTopology":
+        """A ``width x height`` 2D mesh with uniform link capacity."""
+        return cls(width, height, link_bandwidth=link_bandwidth, torus=False)
+
+    @classmethod
+    def torus_grid(cls, width: int, height: int, link_bandwidth: float = 1000.0) -> "NoCTopology":
+        """A ``width x height`` 2D torus with uniform link capacity."""
+        return cls(width, height, link_bandwidth=link_bandwidth, torus=True)
+
+    @classmethod
+    def smallest_mesh_for(cls, num_cores: int, link_bandwidth: float = 1000.0) -> "NoCTopology":
+        """The smallest near-square mesh with at least ``num_cores`` nodes.
+
+        This mirrors the paper's experimental setup where each application is
+        mapped onto a mesh sized to its core count (e.g. 16 cores -> 4x4).
+        """
+        if num_cores < 1:
+            raise GraphError(f"need at least one core, got {num_cores}")
+        width = 1
+        while width * width < num_cores:
+            width += 1
+        height = width
+        while width * (height - 1) >= num_cores:
+            height -= 1
+        return cls(width, height, link_bandwidth=link_bandwidth)
+
+    def _add_link(self, src: int, dst: int, bandwidth: float) -> None:
+        if (src, dst) not in self._links:
+            self._adjacency[src].append(dst)
+        self._links[(src, dst)] = bandwidth
+
+    def _physical_neighbors(self, node: int) -> list[int]:
+        x, y = self.coords(node)
+        neighbors: list[int] = []
+        candidates = [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
+        for cx, cy in candidates:
+            if self.torus:
+                cx %= self.width
+                cy %= self.height
+            if 0 <= cx < self.width and 0 <= cy < self.height:
+                neighbor = self.node_at(cx, cy)
+                if neighbor != node:
+                    neighbors.append(neighbor)
+        return neighbors
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """The ``(x, y)`` coordinate of a node id."""
+        self._require_node(node)
+        return (node % self.width, node // self.width)
+
+    def node_at(self, x: int, y: int) -> int:
+        """The node id at coordinate ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise GraphError(f"coordinate ({x}, {y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def neighbors(self, node: int) -> list[int]:
+        """Adjacent node ids (``Adj_i`` in the paper)."""
+        self._require_node(node)
+        return list(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Number of physical neighbors (mesh corners 2, edges 3, center 4)."""
+        return len(self.neighbors(node))
+
+    def max_degree_nodes(self) -> list[int]:
+        """Nodes with the maximum number of neighbors (``initialize()`` seeds)."""
+        best = max(self.degree(node) for node in self.nodes)
+        return [node for node in self.nodes if self.degree(node) == best]
+
+    def _axis_distance(self, a: int, b: int, size: int) -> int:
+        direct = abs(a - b)
+        if self.torus:
+            return min(direct, size - direct)
+        return direct
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimum hop count between two nodes (Manhattan / torus metric)."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return self._axis_distance(ax, bx, self.width) + self._axis_distance(ay, by, self.height)
+
+    # ------------------------------------------------------------------
+    # links
+    # ------------------------------------------------------------------
+    def links(self) -> Iterator[Link]:
+        """Iterate over all directed links."""
+        for (src, dst), bandwidth in self._links.items():
+            yield Link(src, dst, bandwidth)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def link_keys(self) -> list[tuple[int, int]]:
+        """All directed link ``(src, dst)`` pairs, in a stable order."""
+        return list(self._links)
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._links
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Capacity ``bw_{src,dst}`` of a directed link."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise GraphError(f"no link {src}->{dst} in {self!r}") from None
+
+    def set_link_bandwidth(self, src: int, dst: int, bandwidth: float) -> None:
+        """Override one directed link's capacity (heterogeneous NoCs)."""
+        if bandwidth <= 0:
+            raise GraphError(f"link bandwidth must be positive, got {bandwidth}")
+        if (src, dst) not in self._links:
+            raise GraphError(f"no link {src}->{dst} in {self!r}")
+        self._links[(src, dst)] = bandwidth
+
+    def with_uniform_bandwidth(self, bandwidth: float) -> "NoCTopology":
+        """A copy of this topology with every link capacity replaced."""
+        clone = NoCTopology(self.width, self.height, bandwidth, torus=self.torus)
+        return clone
+
+    def min_link_bandwidth(self) -> float:
+        return min(self._links.values())
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to :class:`networkx.DiGraph` with ``bandwidth`` edge data."""
+        graph = nx.DiGraph(name=repr(self))
+        for node in self.nodes:
+            x, y = self.coords(node)
+            graph.add_node(node, x=x, y=y)
+        for link in self.links():
+            graph.add_edge(link.src, link.dst, bandwidth=link.bandwidth)
+        return graph
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise GraphError(f"node {node} outside 0..{self.num_nodes - 1}")
+
+    def __repr__(self) -> str:
+        kind = "torus" if self.torus else "mesh"
+        return f"NoCTopology({self.width}x{self.height} {kind}, links={self.num_links})"

@@ -1,0 +1,23 @@
+"""Linear-programming substrate (substitute for the paper's ``lp_solve``).
+
+The paper solves its multi-commodity-flow formulations (MCF1/MCF2) with the
+standalone ``lp_solve`` package.  This package provides a small, explicit
+modeling layer — variables, linear expressions, constraints, an objective —
+that lowers to ``scipy.optimize.linprog`` (LPs) or ``scipy.optimize.milp``
+(when integer variables are present).  The modeling layer keeps the routing
+code readable: constraints are written the way the paper writes Equations
+5, 8 and 9.
+"""
+
+from repro.lp.model import LinExpr, LinearProgram, Variable, lin_sum
+from repro.lp.solver import Solution, SolveStatus, solve
+
+__all__ = [
+    "LinExpr",
+    "LinearProgram",
+    "Solution",
+    "SolveStatus",
+    "Variable",
+    "lin_sum",
+    "solve",
+]

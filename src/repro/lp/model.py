@@ -1,0 +1,232 @@
+"""Modeling objects for linear (and mixed-integer) programs.
+
+A :class:`LinearProgram` owns :class:`Variable` objects and linear
+constraints built from :class:`LinExpr` expressions.  Expressions support
+natural arithmetic (``2 * x + y - 3``) and comparisons produce constraints
+(``expr <= rhs``), so multi-commodity-flow builders read like the paper's
+equations.  Solving is delegated to :mod:`repro.lp.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SolverError
+
+
+class Variable:
+    """One decision variable with bounds and an optional integrality flag.
+
+    Instances are created through :meth:`LinearProgram.add_var`; identity is
+    the ``index`` within the owning program.
+    """
+
+    __slots__ = ("index", "name", "low", "high", "integer")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        low: float | None = 0.0,
+        high: float | None = None,
+        integer: bool = False,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.low = low
+        self.high = high
+        self.integer = integer
+
+    # Arithmetic lifts a Variable into a LinExpr -----------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._expr() + other
+
+    def __radd__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._expr() + other
+
+    def __sub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, factor: float) -> "LinExpr":
+        return self._expr() * factor
+
+    def __rmul__(self, factor: float) -> "LinExpr":
+        return self._expr() * factor
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, other: "Variable | LinExpr | float") -> "ConstraintSpec":
+        return self._expr() <= other
+
+    def __ge__(self, other: "Variable | LinExpr | float") -> "ConstraintSpec":
+        return self._expr() >= other
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """A linear expression: ``sum(coef_i * var_i) + constant``.
+
+    Immutable by convention: arithmetic returns new expressions.  The
+    coefficient map is keyed by variable index.
+    """
+
+    __slots__ = ("coefs", "constant")
+
+    def __init__(self, coefs: Mapping[int, float] | None = None, constant: float = 0.0) -> None:
+        self.coefs: dict[int, float] = dict(coefs or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value: "Variable | LinExpr | float") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise SolverError(f"cannot use {value!r} in a linear expression")
+
+    def __add__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        rhs = self._coerce(other)
+        coefs = dict(self.coefs)
+        for index, coef in rhs.coefs.items():
+            coefs[index] = coefs.get(index, 0.0) + coef
+        return LinExpr(coefs, self.constant + rhs.constant)
+
+    def __radd__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, factor: float) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise SolverError("linear expressions can only be scaled by numbers")
+        return LinExpr(
+            {index: coef * factor for index, coef in self.coefs.items()},
+            self.constant * factor,
+        )
+
+    def __rmul__(self, factor: float) -> "LinExpr":
+        return self * factor
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other: "Variable | LinExpr | float") -> "ConstraintSpec":
+        return ConstraintSpec(self - other, "<=")
+
+    def __ge__(self, other: "Variable | LinExpr | float") -> "ConstraintSpec":
+        return ConstraintSpec(self - other, ">=")
+
+    def equals(self, other: "Variable | LinExpr | float") -> "ConstraintSpec":
+        """Equality constraint (``==`` is left to Python's object semantics)."""
+        return ConstraintSpec(self - other, "==")
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{coef:g}*v{index}" for index, coef in sorted(self.coefs.items()))
+        return f"LinExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """A normalized constraint: ``expr (<=|>=|==) 0`` after moving the RHS."""
+
+    expr: LinExpr
+    sense: str  # "<=", ">=", "=="
+
+
+def lin_sum(items: Iterable["Variable | LinExpr | float"]) -> LinExpr:
+    """Sum an iterable of variables/expressions into one expression.
+
+    Builds the coefficient map in place, so summing thousands of flow
+    variables (as the MCF builders do) stays linear time.
+    """
+    coefs: dict[int, float] = {}
+    constant = 0.0
+    for item in items:
+        expr = LinExpr._coerce(item)
+        constant += expr.constant
+        for index, coef in expr.coefs.items():
+            coefs[index] = coefs.get(index, 0.0) + coef
+    return LinExpr(coefs, constant)
+
+
+@dataclass
+class LinearProgram:
+    """A container of variables, constraints and one objective.
+
+    Attributes:
+        name: label used in error messages.
+        minimize: objective sense; True for minimization (the only sense the
+            paper's formulations need, but maximization is supported by
+            negating).
+    """
+
+    name: str = "lp"
+    minimize: bool = True
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[ConstraintSpec] = field(default_factory=list)
+    objective: LinExpr = field(default_factory=LinExpr)
+
+    def add_var(
+        self,
+        name: str,
+        low: float | None = 0.0,
+        high: float | None = None,
+        integer: bool = False,
+    ) -> Variable:
+        """Create a variable.  Default bounds are ``[0, +inf)`` as in the paper."""
+        if low is not None and high is not None and low > high:
+            raise SolverError(f"variable {name!r} has empty bounds [{low}, {high}]")
+        variable = Variable(len(self.variables), name, low, high, integer)
+        self.variables.append(variable)
+        return variable
+
+    def add_constraint(self, spec: ConstraintSpec) -> None:
+        """Register a constraint built via ``<=``, ``>=`` or ``.equals()``."""
+        if not isinstance(spec, ConstraintSpec):
+            raise SolverError(
+                "add_constraint expects a comparison of linear expressions; "
+                f"got {spec!r}"
+            )
+        self.constraints.append(spec)
+
+    def set_objective(self, expr: "Variable | LinExpr", minimize: bool = True) -> None:
+        self.objective = LinExpr._coerce(expr)
+        self.minimize = minimize
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def has_integer_vars(self) -> bool:
+        return any(variable.integer for variable in self.variables)
+
+    def bounds(self) -> Sequence[tuple[float | None, float | None]]:
+        return [(variable.low, variable.high) for variable in self.variables]
+
+    def __repr__(self) -> str:
+        kind = "MILP" if self.has_integer_vars else "LP"
+        return (
+            f"LinearProgram({self.name!r}, {kind}, vars={self.num_vars}, "
+            f"constraints={self.num_constraints})"
+        )

@@ -1,0 +1,41 @@
+"""Mapping algorithms: NMAP and the baselines it is compared against.
+
+* :func:`~repro.mapping.initializer.initial_mapping` — the paper's
+  ``initialize()`` constructive seed.
+* :func:`~repro.mapping.nmap.nmap_single_path` — §5,
+  ``mappingwithsinglepath()``.
+* :func:`~repro.mapping.nmap_split.nmap_with_splitting` — §6,
+  ``mappingwithsplitting()`` with MCF1/MCF2 (NMAPTM / NMAPTA).
+* :func:`~repro.mapping.pmap.pmap` — Koziris et al.'s two-phase PMAP.
+* :func:`~repro.mapping.gmap.gmap` — Hu–Marculescu's greedy mapping (UBC).
+* :func:`~repro.mapping.pbb.pbb` — Hu–Marculescu's partial branch-and-bound.
+* :func:`~repro.mapping.exhaustive.exhaustive_best_mapping` — brute-force
+  oracle for small instances (testing).
+* :func:`~repro.mapping.random_map.random_mapping` — seeded random baseline.
+"""
+
+from repro.mapping.annealing import annealing_mapping
+from repro.mapping.base import Mapping, MappingResult
+from repro.mapping.exhaustive import exhaustive_best_mapping
+from repro.mapping.gmap import gmap
+from repro.mapping.initializer import initial_mapping
+from repro.mapping.nmap import evaluate_single_path, nmap_single_path
+from repro.mapping.nmap_split import nmap_with_splitting
+from repro.mapping.pbb import pbb
+from repro.mapping.pmap import pmap
+from repro.mapping.random_map import random_mapping
+
+__all__ = [
+    "Mapping",
+    "MappingResult",
+    "annealing_mapping",
+    "evaluate_single_path",
+    "exhaustive_best_mapping",
+    "gmap",
+    "initial_mapping",
+    "nmap_single_path",
+    "nmap_with_splitting",
+    "pbb",
+    "pmap",
+    "random_mapping",
+]

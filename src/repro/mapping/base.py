@@ -1,0 +1,227 @@
+"""The mapping function ``map: V -> U`` (Equation 1) and result records.
+
+A :class:`Mapping` is a one-to-one partial assignment of cores to mesh
+nodes, defined whenever ``|V| <= |U|`` — nodes may stay empty, and the swap
+moves of NMAP's improvement loop may move a core onto an empty node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import MappingError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+
+
+class Mapping:
+    """One-to-one (injective) placement of cores onto topology nodes.
+
+    Args:
+        core_graph: the application graph ``G(V, E)``.
+        topology: the NoC graph ``P(U, F)``; must satisfy ``|V| <= |U|``.
+        placement: optional initial core -> node assignment.
+    """
+
+    def __init__(
+        self,
+        core_graph: CoreGraph,
+        topology: NoCTopology,
+        placement: dict[str, int] | None = None,
+    ) -> None:
+        if core_graph.num_cores > topology.num_nodes:
+            raise MappingError(
+                f"{core_graph.num_cores} cores cannot map onto "
+                f"{topology.num_nodes} nodes (need |V| <= |U|)"
+            )
+        self.core_graph = core_graph
+        self.topology = topology
+        self._core_to_node: dict[str, int] = {}
+        self._node_to_core: dict[int, str] = {}
+        for core, node in (placement or {}).items():
+            self.assign(core, node)
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def assign(self, core: str, node: int) -> None:
+        """Place ``core`` on ``node``; both must be free.
+
+        Raises:
+            MappingError: unknown core/node, or either side already used.
+        """
+        if not self.core_graph.has_core(core):
+            raise MappingError(f"unknown core {core!r}")
+        if not (0 <= node < self.topology.num_nodes):
+            raise MappingError(f"node {node} outside the topology")
+        if core in self._core_to_node:
+            raise MappingError(f"core {core!r} already mapped to {self._core_to_node[core]}")
+        if node in self._node_to_core:
+            raise MappingError(f"node {node} already hosts {self._node_to_core[node]!r}")
+        self._core_to_node[core] = node
+        self._node_to_core[node] = core
+
+    def unassign(self, core: str) -> None:
+        """Remove ``core`` from the placement."""
+        try:
+            node = self._core_to_node.pop(core)
+        except KeyError:
+            raise MappingError(f"core {core!r} is not mapped") from None
+        del self._node_to_core[node]
+
+    def swap_nodes(self, node_a: int, node_b: int) -> None:
+        """Exchange the contents of two mesh nodes, in place.
+
+        Either node may be empty, so this also models "move a core to a free
+        node" — the full move set of NMAP's pairwise improvement loop.
+        """
+        for node in (node_a, node_b):
+            if not (0 <= node < self.topology.num_nodes):
+                raise MappingError(f"node {node} outside the topology")
+        core_a = self._node_to_core.pop(node_a, None)
+        core_b = self._node_to_core.pop(node_b, None)
+        if core_a is not None:
+            self._node_to_core[node_b] = core_a
+            self._core_to_node[core_a] = node_b
+        if core_b is not None:
+            self._node_to_core[node_a] = core_b
+            self._core_to_node[core_b] = node_a
+
+    def swapped(self, node_a: int, node_b: int) -> "Mapping":
+        """A copy with the contents of two nodes exchanged."""
+        clone = self.copy()
+        clone.swap_nodes(node_a, node_b)
+        return clone
+
+    def copy(self) -> "Mapping":
+        clone = Mapping(self.core_graph, self.topology)
+        clone._core_to_node = dict(self._core_to_node)
+        clone._node_to_core = dict(self._node_to_core)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_mapped(self, core: str) -> bool:
+        return core in self._core_to_node
+
+    def node_of(self, core: str) -> int:
+        """The mesh node hosting ``core`` (``map(v_i)``)."""
+        try:
+            return self._core_to_node[core]
+        except KeyError:
+            raise MappingError(f"core {core!r} is not mapped") from None
+
+    def core_at(self, node: int) -> str | None:
+        """The core on ``node`` or None when the node is empty."""
+        return self._node_to_core.get(node)
+
+    @property
+    def placement(self) -> dict[str, int]:
+        """Core -> node dictionary (copy)."""
+        return dict(self._core_to_node)
+
+    @property
+    def node_contents(self) -> dict[int, str | None]:
+        """Node -> core-or-None for every node of the topology."""
+        return {node: self._node_to_core.get(node) for node in self.topology.nodes}
+
+    @property
+    def num_mapped(self) -> int:
+        return len(self._core_to_node)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every core of the graph is placed."""
+        return self.num_mapped == self.core_graph.num_cores
+
+    def used_nodes(self) -> set[int]:
+        return set(self._node_to_core)
+
+    def free_nodes(self) -> list[int]:
+        """Unoccupied nodes, in ascending id order (deterministic tie-breaks)."""
+        return [node for node in self.topology.nodes if node not in self._node_to_core]
+
+    def validate(self) -> None:
+        """Check completeness and bijectivity onto the used node set.
+
+        Raises:
+            MappingError: if any core is unmapped (injectivity is enforced
+                structurally by :meth:`assign`).
+        """
+        missing = [core for core in self.core_graph.cores if core not in self._core_to_node]
+        if missing:
+            raise MappingError(f"cores not mapped: {missing}")
+
+    # ------------------------------------------------------------------
+    # conversion / comparison
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_node_list(
+        cls, core_graph: CoreGraph, topology: NoCTopology, cores_by_node: Iterable[str | None]
+    ) -> "Mapping":
+        """Build from a per-node list: entry ``i`` is the core on node ``i``."""
+        placement: dict[str, int] = {}
+        for node, core in enumerate(cores_by_node):
+            if core is not None:
+                placement[core] = node
+        return cls(core_graph, topology, placement)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._core_to_node == other._core_to_node
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping({self.core_graph.name!r} -> {self.topology.width}x"
+            f"{self.topology.height}, mapped={self.num_mapped}/{self.core_graph.num_cores})"
+        )
+
+    def render(self) -> str:
+        """ASCII grid of the placement (rows = mesh rows), for logs/CLI."""
+        widest = max(
+            [len(core) for core in self._core_to_node] + [1]
+        )
+        rows = []
+        for y in range(self.topology.height):
+            cells = []
+            for x in range(self.topology.width):
+                core = self.core_at(self.topology.node_at(x, y))
+                cells.append((core or ".").ljust(widest))
+            rows.append(" | ".join(cells))
+        return "\n".join(rows)
+
+
+@dataclass
+class MappingResult:
+    """Outcome of a mapping algorithm run.
+
+    Attributes:
+        mapping: the final placement.
+        comm_cost: Equation 7 communication cost (hops x bandwidth); infinity
+            when no bandwidth-feasible routing was found.
+        feasible: True when the reported routing satisfies Inequality 3.
+        algorithm: name of the producing algorithm (e.g. ``"nmap"``).
+        routing: the routing evidence backing ``feasible`` (a
+            :class:`repro.routing.base.RoutingResult`) or None.
+        stats: algorithm-specific counters (swaps tried, LPs solved, ...).
+    """
+
+    mapping: Mapping
+    comm_cost: float
+    feasible: bool
+    algorithm: str
+    routing: Any = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        cost = "inf" if self.comm_cost == float("inf") else f"{self.comm_cost:.1f}"
+        return (
+            f"MappingResult({self.algorithm}, cost={cost}, "
+            f"feasible={self.feasible})"
+        )

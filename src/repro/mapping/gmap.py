@@ -1,0 +1,70 @@
+"""GMAP: the greedy mapping of Hu–Marculescu (used for their UBC bound).
+
+Reimplementation of the greedy algorithm the paper benchmarks as "GMAP —
+the algorithm for UBC calculation in [8]": cores are taken in descending
+order of total communication volume (a static order, unlike NMAP's
+``initialize()`` which re-ranks by attachment to the mapped set) and each is
+placed on the free node minimizing the incremental hop-weighted cost to the
+cores already placed.  No improvement phase follows — that absence is what
+Figures 3 and 4 measure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.graphs.commodities import build_commodities
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping, MappingResult
+from repro.metrics.comm_cost import MAXVALUE, comm_cost
+from repro.routing.min_path import min_path_routing
+
+
+def gmap(core_graph: CoreGraph, topology: NoCTopology) -> MappingResult:
+    """Run the greedy baseline.
+
+    Returns:
+        :class:`MappingResult` priced with the same single-minimum-path
+        routing used for NMAP, so Figure 3/4 comparisons are apples to
+        apples.
+    """
+    if core_graph.num_cores == 0:
+        raise MappingError("cannot map an empty core graph")
+    mapping = Mapping(core_graph, topology)
+    order = sorted(
+        core_graph.cores,
+        key=lambda core: (-core_graph.core_traffic(core), core_graph.cores.index(core)),
+    )
+    center_x = (topology.width - 1) / 2.0
+    center_y = (topology.height - 1) / 2.0
+    for core in order:
+        placed_neighbors = [
+            (mapping.node_of(other), core_graph.traffic_between(core, other))
+            for other in core_graph.neighbors(core)
+            if mapping.is_mapped(other)
+        ]
+        best_node = -1
+        best_key: tuple[float, float] | None = None
+        for node in mapping.free_nodes():
+            cost = sum(
+                bandwidth * topology.distance(node, placed)
+                for placed, bandwidth in placed_neighbors
+            )
+            x, y = topology.coords(node)
+            center_pull = abs(x - center_x) + abs(y - center_y)
+            key = (cost, center_pull)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_node = node
+        mapping.assign(core, best_node)
+
+    commodities = build_commodities(core_graph, mapping)
+    routing = min_path_routing(topology, commodities)
+    feasible = routing.is_feasible()
+    return MappingResult(
+        mapping=mapping,
+        comm_cost=comm_cost(mapping) if feasible else MAXVALUE,
+        feasible=feasible,
+        algorithm="gmap",
+        routing=routing,
+    )

@@ -1,0 +1,140 @@
+"""NMAP with single minimum-path routing: ``mappingwithsinglepath()`` (§5).
+
+Three phases:
+
+1. ``initialize()`` builds the constructive seed
+   (:func:`repro.mapping.initializer.initial_mapping`).
+2. ``shortestpath()`` routes all commodities with the load-balancing
+   quadrant heuristic and prices the mapping: Equation 7's cost when the
+   bandwidth constraints hold, ``maxvalue`` otherwise.
+3. Pairwise improvement: for every node pair ``(i, j)``, evaluate the
+   mapping with the two nodes' contents swapped; after each outer ``i`` the
+   best mapping found so far is committed (exactly the pseudo-code's
+   control flow).
+
+Fast path (results identical, documented in DESIGN.md): Equation 7 depends
+only on hop distances, so a candidate swap's cost is computed in
+``O(deg)`` via :func:`~repro.metrics.comm_cost.swap_cost_delta`; the routing
+heuristic runs only for candidates that would actually improve the best
+cost, to confirm bandwidth feasibility.  When every link's capacity is at
+least the total traffic of the application, any routing is feasible and the
+check is skipped altogether.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.commodities import build_commodities
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping, MappingResult
+from repro.mapping.initializer import initial_mapping
+from repro.metrics.comm_cost import MAXVALUE, comm_cost, swap_cost_delta
+from repro.routing.base import RoutingResult
+from repro.routing.min_path import min_path_routing
+
+
+def evaluate_single_path(mapping: Mapping) -> tuple[float, RoutingResult, bool]:
+    """The ``shortestpath()`` evaluation of one complete mapping.
+
+    Returns:
+        ``(cost, routing, feasible)`` where ``cost`` is Equation 7 when the
+        routed loads satisfy every link capacity and ``maxvalue`` otherwise.
+    """
+    commodities = build_commodities(mapping.core_graph, mapping)
+    routing = min_path_routing(mapping.topology, commodities)
+    feasible = routing.is_feasible()
+    cost = comm_cost(mapping) if feasible else MAXVALUE
+    return cost, routing, feasible
+
+
+def _trivially_feasible(core_graph: CoreGraph, topology: NoCTopology) -> bool:
+    """True when no routing can ever violate a link capacity."""
+    return topology.min_link_bandwidth() >= core_graph.total_bandwidth()
+
+
+def nmap_single_path(
+    core_graph: CoreGraph,
+    topology: NoCTopology,
+    improve: bool = True,
+    max_passes: int | None = None,
+) -> MappingResult:
+    """Run the full NMAP single-minimum-path algorithm.
+
+    Args:
+        core_graph: application graph ``G(V, E)``.
+        topology: NoC graph ``P(U, F)`` with link capacities.
+        improve: False stops after the constructive phase (the ablation
+            bench uses this to measure what the swap loop buys).
+        max_passes: number of full pairwise-swap sweeps.  The pseudo-code
+            shows one sweep; by default the sweep repeats until no swap is
+            accepted (a fixpoint of the same neighborhood, at most
+            ``|U|`` sweeps), which only ever improves on the single sweep.
+            Pass ``1`` for the literal pseudo-code behaviour.
+
+    Returns:
+        A :class:`MappingResult`; ``comm_cost`` is ``inf`` when no
+        bandwidth-feasible mapping was found.
+    """
+    mapping = initial_mapping(core_graph, topology)
+    skip_routing = _trivially_feasible(core_graph, topology)
+
+    if skip_routing:
+        best_cost: float = comm_cost(mapping)
+        best_feasible = True
+    else:
+        best_cost, _, best_feasible = evaluate_single_path(mapping)
+
+    stats = {"swaps_tried": 0, "swaps_accepted": 0, "routings_run": 0 if skip_routing else 1,
+             "passes": 0}
+
+    if improve:
+        nodes = list(topology.nodes)
+        pass_limit = max_passes if max_passes is not None else len(nodes)
+        for _ in range(pass_limit):
+            stats["passes"] += 1
+            accepted_this_pass = 0
+            manhattan_cost = comm_cost(mapping)
+            for i in range(len(nodes)):
+                best_swap: tuple[int, int] | None = None
+                best_swap_cost = best_cost
+                for j in range(i + 1, len(nodes)):
+                    stats["swaps_tried"] += 1
+                    delta = swap_cost_delta(mapping, nodes[i], nodes[j])
+                    if delta == 0.0 and best_feasible:
+                        continue
+                    candidate_cost = manhattan_cost + delta
+                    if candidate_cost >= best_swap_cost and best_feasible:
+                        continue
+                    if skip_routing:
+                        feasible = True
+                    else:
+                        candidate = mapping.swapped(nodes[i], nodes[j])
+                        stats["routings_run"] += 1
+                        _, _, feasible = evaluate_single_path(candidate)
+                    if feasible and (candidate_cost < best_swap_cost or not best_feasible):
+                        best_swap = (nodes[i], nodes[j])
+                        best_swap_cost = candidate_cost
+                        best_feasible = True
+                if best_swap is not None:
+                    mapping.swap_nodes(*best_swap)
+                    manhattan_cost = comm_cost(mapping)
+                    best_cost = best_swap_cost
+                    stats["swaps_accepted"] += 1
+                    accepted_this_pass += 1
+            if accepted_this_pass == 0:
+                break
+
+    final_cost, routing, feasible = (
+        (comm_cost(mapping), None, True) if skip_routing else evaluate_single_path(mapping)
+    )
+    if skip_routing:
+        commodities = build_commodities(core_graph, mapping)
+        routing = min_path_routing(topology, commodities)
+    return MappingResult(
+        mapping=mapping,
+        comm_cost=final_cost if feasible else MAXVALUE,
+        feasible=feasible,
+        algorithm="nmap",
+        routing=routing,
+        stats=stats,
+    )

@@ -1,0 +1,32 @@
+"""Evaluation metrics: communication cost, bandwidth needs, energy.
+
+* :func:`~repro.metrics.comm_cost.comm_cost` — Equation 7, the paper's
+  primary objective (bandwidth-weighted minimum hop count).
+* :mod:`repro.metrics.bandwidth` — link loads and the minimum uniform link
+  bandwidth required under each routing discipline (Figure 4's metric).
+* :mod:`repro.metrics.energy` — the Hu–Marculescu bit-energy model used by
+  the PBB baseline's original objective (extension; the DATE'04 paper
+  compares on cost/bandwidth only).
+"""
+
+from repro.metrics.bandwidth import (
+    min_bandwidth_min_path,
+    min_bandwidth_split,
+    min_bandwidth_xy,
+)
+from repro.metrics.comm_cost import average_hop_count, comm_cost, comm_cost_limit
+from repro.metrics.energy import BitEnergyModel, communication_energy
+from repro.metrics.report import MappingReport, evaluate_mapping
+
+__all__ = [
+    "BitEnergyModel",
+    "MappingReport",
+    "average_hop_count",
+    "comm_cost",
+    "comm_cost_limit",
+    "communication_energy",
+    "evaluate_mapping",
+    "min_bandwidth_min_path",
+    "min_bandwidth_split",
+    "min_bandwidth_xy",
+]

@@ -1,0 +1,52 @@
+"""Minimum uniform link bandwidth required by a mapping (Figure 4's metric).
+
+With uniform link capacities, the smallest capacity that satisfies
+Inequality 3 equals the maximum aggregate link load produced by the routing
+discipline.  Deterministic routers (XY, the quadrant heuristic) give it
+directly; for split traffic it is the min-congestion LP's optimum.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.commodities import build_commodities
+from repro.mapping.base import Mapping
+from repro.routing.base import RoutingResult
+from repro.routing.dimension_ordered import xy_routing
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+
+
+def min_bandwidth_xy(mapping: Mapping) -> tuple[float, RoutingResult]:
+    """Min uniform capacity under dimension-ordered routing (DPMAP/DGMAP)."""
+    commodities = build_commodities(mapping.core_graph, mapping)
+    routing = xy_routing(mapping.topology, commodities)
+    return routing.max_link_load(), routing
+
+
+def min_bandwidth_min_path(mapping: Mapping) -> tuple[float, RoutingResult]:
+    """Min uniform capacity under the load-balancing quadrant heuristic."""
+    commodities = build_commodities(mapping.core_graph, mapping)
+    routing = min_path_routing(mapping.topology, commodities)
+    return routing.max_link_load(), routing
+
+
+def min_bandwidth_split(
+    mapping: Mapping, quadrant_only: bool = False
+) -> tuple[float, RoutingResult]:
+    """Min uniform capacity with traffic splitting (NMAPTM/NMAPTA).
+
+    Args:
+        quadrant_only: True restricts each commodity to its minimum paths
+            (NMAPTM, Equation 10); False allows all paths (NMAPTA).
+    """
+    commodities = build_commodities(mapping.core_graph, mapping)
+    return solve_min_congestion(mapping.topology, commodities, quadrant_only=quadrant_only)
+
+
+def link_utilizations(routing: RoutingResult) -> dict[tuple[int, int], float]:
+    """Load / capacity per directed link under the topology's capacities."""
+    topology = routing.topology
+    return {
+        link: load / topology.link_bandwidth(*link)
+        for link, load in routing.link_loads().items()
+    }

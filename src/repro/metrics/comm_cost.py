@@ -1,0 +1,99 @@
+"""Communication cost (Equation 7) and related delay proxies.
+
+``commcost = sum_k vl(d_k) * dist(source(d_k), dest(d_k))`` where ``dist``
+is the minimum hop count on the mesh.  Note the cost depends only on the
+*mapping*, not on which minimum paths the router picks — routing affects
+feasibility (Inequality 3), not this objective.  That property is what lets
+NMAP pre-screen swap candidates cheaply (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping
+
+#: Stand-in for the pseudo-code's ``maxvalue`` (cost of an infeasible mapping).
+MAXVALUE = float("inf")
+
+
+def comm_cost(mapping: Mapping) -> float:
+    """Equation 7 for a complete mapping.
+
+    Raises:
+        repro.errors.MappingError: via :meth:`Mapping.node_of` when a flow
+            endpoint is unmapped.
+    """
+    topology = mapping.topology
+    total = 0.0
+    for flow in mapping.core_graph.flows():
+        total += flow.bandwidth * topology.distance(
+            mapping.node_of(flow.src), mapping.node_of(flow.dst)
+        )
+    return total
+
+
+def comm_cost_limit(mapping: Mapping, limit: float) -> float:
+    """Equation 7 with early exit once the partial sum exceeds ``limit``.
+
+    Used by the swap loops: most candidate swaps are worse than the current
+    best, so the scan usually stops early.  Returns a value ``> limit``
+    (not necessarily the exact cost) when the limit is exceeded.
+    """
+    topology = mapping.topology
+    total = 0.0
+    for flow in mapping.core_graph.flows():
+        total += flow.bandwidth * topology.distance(
+            mapping.node_of(flow.src), mapping.node_of(flow.dst)
+        )
+        if total > limit:
+            return total
+    return total
+
+
+def average_hop_count(mapping: Mapping) -> float:
+    """Bandwidth-weighted mean hop distance — the paper's "average delay".
+
+    Equals ``comm_cost / total_bandwidth``; 0.0 for a graph without flows.
+    """
+    total_bw = mapping.core_graph.total_bandwidth()
+    if total_bw == 0:
+        return 0.0
+    return comm_cost(mapping) / total_bw
+
+
+def swap_cost_delta(mapping: Mapping, node_a: int, node_b: int) -> float:
+    """Exact change in Equation 7 if the contents of two nodes were swapped.
+
+    Only flows incident to the affected cores change, so this is
+    ``O(deg(a) + deg(b))`` instead of ``O(|E|)`` — the workhorse of NMAP's
+    improvement loop on large random graphs (Table 2).
+    """
+    topology = mapping.topology
+    graph = mapping.core_graph
+    core_a = mapping.core_at(node_a)
+    core_b = mapping.core_at(node_b)
+    moved = {}
+    if core_a is not None:
+        moved[core_a] = node_b
+    if core_b is not None:
+        moved[core_b] = node_a
+    if not moved:
+        return 0.0
+
+    def located(core: str) -> int:
+        return moved.get(core, mapping.node_of(core))
+
+    delta = 0.0
+    seen_pairs: set[tuple[str, str]] = set()
+    for core in moved:
+        for other in graph.neighbors(core):
+            pair = (core, other) if core <= other else (other, core)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            bandwidth = graph.traffic_between(core, other)
+            old = topology.distance(mapping.node_of(core), mapping.node_of(other))
+            new = topology.distance(located(core), located(other))
+            delta += bandwidth * (new - old)
+    return delta

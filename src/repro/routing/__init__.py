@@ -1,0 +1,46 @@
+"""Routing layer: deterministic, load-balanced and split-traffic routing.
+
+* :mod:`repro.routing.dimension_ordered` — XY (dimension-ordered) routing,
+  the deterministic baseline behind DPMAP/DGMAP in Figure 4.
+* :mod:`repro.routing.min_path` — the paper's ``shortestpath()`` heuristic:
+  commodities in decreasing order, Dijkstra over the quadrant graph with
+  load-accumulating edge weights.
+* :mod:`repro.routing.split` — traffic splitting via multi-commodity flow:
+  MCF1 (slack minimization, Eq. 8), MCF2 (flow/cost minimization, Eq. 9) and
+  the min-congestion LP used to size link bandwidth (Fig. 4's NMAPTM/NMAPTA);
+  quadrant-restricted (minimum-path) or all-path variants.
+* :mod:`repro.routing.ilp` — exact single-path routing as an ILP, the
+  comparator for the paper's "heuristic within ~10% of ILP" claim.
+* :mod:`repro.routing.tables` — per-node routing tables and the routing-table
+  bit-overhead estimate from §6.
+"""
+
+from repro.routing.base import RoutingResult, decompose_flows
+from repro.routing.deadlock import (
+    channel_dependency_graph,
+    find_cycle,
+    is_deadlock_free,
+)
+from repro.routing.dimension_ordered import xy_path, xy_routing
+from repro.routing.ilp import ilp_single_path_routing
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_mcf1, solve_mcf2, solve_min_congestion
+from repro.routing.tables import RoutingTable, build_routing_tables, table_overhead_bits
+
+__all__ = [
+    "RoutingResult",
+    "RoutingTable",
+    "build_routing_tables",
+    "channel_dependency_graph",
+    "decompose_flows",
+    "find_cycle",
+    "ilp_single_path_routing",
+    "is_deadlock_free",
+    "min_path_routing",
+    "solve_mcf1",
+    "solve_mcf2",
+    "solve_min_congestion",
+    "table_overhead_bits",
+    "xy_path",
+    "xy_routing",
+]

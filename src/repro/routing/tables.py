@@ -1,0 +1,125 @@
+"""Per-node routing tables and their bit overhead (§6's table-size claim).
+
+Splitting traffic grows each node's routing table because a commodity may
+leave a node over several output links with different proportions.  The
+paper argues this overhead stays below ~10% of the network buffer bits; this
+module synthesizes the tables from a :class:`RoutingResult` and computes
+that comparison so the claim can be checked for any mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.graphs.topology import NoCTopology
+from repro.routing.base import LinkKey, RoutingResult, path_links
+
+
+@dataclass
+class RoutingTable:
+    """Routing table of a single node.
+
+    ``entries`` maps a commodity index to a list of ``(next_node, weight)``
+    pairs; weights are the fraction of that commodity's traffic through this
+    node that continues to ``next_node`` (1.0 for deterministic routing).
+    """
+
+    node: int
+    entries: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+
+    @property
+    def num_entries(self) -> int:
+        """Total (commodity, next-hop) rows stored at this node."""
+        return sum(len(hops) for hops in self.entries.values())
+
+    def next_hops(self, commodity_index: int) -> list[tuple[int, float]]:
+        return list(self.entries.get(commodity_index, []))
+
+    def is_deterministic(self) -> bool:
+        return all(len(hops) == 1 for hops in self.entries.values())
+
+
+def build_routing_tables(routing: RoutingResult) -> dict[int, RoutingTable]:
+    """Synthesize per-node tables from explicit paths or fractional flows.
+
+    For fractional routings the weight of ``node -> next`` for commodity
+    ``k`` is ``x^k_{node,next}`` divided by the commodity's total flow
+    through ``node``.
+
+    Raises:
+        RoutingError: if a commodity has flow into a node but none out
+            (corrupt flow map).
+    """
+    tables: dict[int, RoutingTable] = {
+        node: RoutingTable(node) for node in routing.topology.nodes
+    }
+    if routing.paths is not None:
+        for commodity in routing.commodities:
+            path = routing.paths[commodity.index]
+            for src, dst in path_links(path):
+                tables[src].entries.setdefault(commodity.index, []).append((dst, 1.0))
+        return tables
+
+    for commodity in routing.commodities:
+        flow_map = routing.flows.get(commodity.index, {})
+        outgoing: dict[int, list[tuple[int, float]]] = {}
+        for (src, dst), amount in flow_map.items():
+            outgoing.setdefault(src, []).append((dst, amount))
+        for node, hops in outgoing.items():
+            total = sum(amount for _dst, amount in hops)
+            if total <= 0:
+                raise RoutingError(
+                    f"commodity {commodity.index} has zero outflow recorded at {node}"
+                )
+            tables[node].entries[commodity.index] = [
+                (dst, amount / total) for dst, amount in sorted(hops)
+            ]
+    return tables
+
+
+def table_overhead_bits(
+    routing: RoutingResult,
+    weight_bits: int = 8,
+) -> int:
+    """Total routing-table storage across all nodes, in bits.
+
+    Each entry stores a commodity id, a next-hop port id (3 bits suffice for
+    5 ports) and, for split routing, a fixed-point weight.
+
+    Args:
+        weight_bits: bits per split weight; deterministic tables store none.
+    """
+    tables = build_routing_tables(routing)
+    commodity_bits = max(1, math.ceil(math.log2(max(1, len(routing.commodities)) + 1)))
+    port_bits = 3
+    total = 0
+    for table in tables.values():
+        for hops in table.entries.values():
+            per_entry = commodity_bits + port_bits
+            if len(hops) > 1:
+                per_entry += weight_bits
+            total += per_entry * len(hops)
+    return total
+
+
+def buffer_bits(
+    topology: NoCTopology,
+    buffer_depth_flits: int = 4,
+    flit_bits: int = 32,
+    ports_per_router: int = 5,
+) -> int:
+    """Total network buffer storage, for the §6 "<10% of buffer bits" ratio."""
+    return topology.num_nodes * ports_per_router * buffer_depth_flits * flit_bits
+
+
+def table_overhead_ratio(
+    routing: RoutingResult,
+    buffer_depth_flits: int = 4,
+    flit_bits: int = 32,
+) -> float:
+    """Routing-table bits as a fraction of network buffer bits."""
+    return table_overhead_bits(routing) / buffer_bits(
+        routing.topology, buffer_depth_flits, flit_bits
+    )

@@ -1,0 +1,38 @@
+"""Cycle-level wormhole NoC simulator (SystemC / ×pipes substitute).
+
+The paper validates NMAP by generating a SystemC NoC with ×pipes macros and
+simulating it cycle-accurately (§7.2, Figure 5c).  This package is the
+equivalent substrate in Python: a flit-level, cycle-driven simulator of an
+input-buffered wormhole mesh with credit-based flow control, source routing
+(single-path or weighted multi-path from a :class:`RoutingResult`), bursty
+traffic generators driven by the core graph's bandwidths and latency
+statistics collection.
+
+Key model parameters (:class:`SimConfig`) mirror the paper's Table 3:
+64-byte packets, a 7-cycle switch traversal, and link bandwidths swept in
+GB/s (converted to flits/cycle by the configured clock and flit width).
+"""
+
+from repro.simnoc.config import SimConfig
+from repro.simnoc.network import Network, build_network
+from repro.simnoc.packet import Flit, FlitKind, Packet
+from repro.simnoc.simulator import SimulationReport, Simulator, simulate_mapping
+from repro.simnoc.stats import LatencyStats
+from repro.simnoc.trace import TraceEvent, TraceRecorder
+from repro.simnoc.traffic import BurstyTrafficSource
+
+__all__ = [
+    "BurstyTrafficSource",
+    "Flit",
+    "FlitKind",
+    "LatencyStats",
+    "Network",
+    "Packet",
+    "SimConfig",
+    "SimulationReport",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+    "build_network",
+    "simulate_mapping",
+]

@@ -1,0 +1,137 @@
+"""Assemble a simulatable network from a mapping and a routing result.
+
+``build_network`` is the ×pipesCompiler-equivalent step at simulation level:
+it instantiates one router per mesh node, wires input/output ports along the
+topology's links, attaches a network interface per node and creates one
+bursty traffic source per commodity, with the source's weighted path set
+taken from the routing result (single path, or a flow decomposition of the
+MCF solution for split traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.graphs.commodities import Commodity
+from repro.graphs.topology import NoCTopology
+from repro.routing.base import RoutingResult, decompose_flows
+from repro.simnoc.config import SimConfig
+from repro.simnoc.ni import NetworkInterface
+from repro.simnoc.router import LOCAL, Router
+from repro.simnoc.traffic import BurstyTrafficSource
+
+
+@dataclass
+class Network:
+    """All simulator components of one NoC instance."""
+
+    topology: NoCTopology
+    config: SimConfig
+    routers: dict[int, Router]
+    interfaces: dict[int, NetworkInterface]
+    sources: list[BurstyTrafficSource]
+    link_rates: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def total_buffered_flits(self) -> int:
+        return sum(router.buffered_flits() for router in self.routers.values())
+
+    def total_backlog_flits(self) -> int:
+        return sum(ni.backlog_flits for ni in self.interfaces.values())
+
+
+def commodity_paths(
+    routing: RoutingResult, commodity: Commodity
+) -> list[tuple[list[int], float]]:
+    """Weighted source routes for one commodity from a routing result."""
+    if routing.paths is not None:
+        return [(list(routing.paths[commodity.index]), 1.0)]
+    return decompose_flows(
+        routing.topology, commodity, routing.flows.get(commodity.index, {})
+    )
+
+
+def build_network(
+    topology: NoCTopology,
+    commodities: list[Commodity],
+    routing: RoutingResult,
+    config: SimConfig,
+    link_rate_flits_per_cycle: float | None = None,
+    bandwidth_scale: float = 1.0,
+) -> Network:
+    """Build a ready-to-run :class:`Network`.
+
+    Args:
+        topology: the mesh/torus to instantiate.
+        commodities: traffic demands (MB/s each).
+        routing: where each commodity's packets travel (paths or flows).
+        config: global simulator parameters.
+        link_rate_flits_per_cycle: override every link's rate (Figure 5c
+            sweeps this); by default each link's rate derives from its
+            bandwidth in the topology via the config's clock/flit width.
+        bandwidth_scale: multiplies every commodity's injection rate
+            (load-sweep experiments).
+
+    Raises:
+        SimulationError: if any commodity's scaled rate exceeds one
+            flit/cycle (a single NI cannot physically inject faster).
+    """
+    routers: dict[int, Router] = {}
+    for node in topology.nodes:
+        input_keys = [LOCAL] + list(topology.neighbors(node))
+        output_specs: dict[int, tuple[float, float]] = {
+            LOCAL: (1.0, float("inf"))
+        }
+        for neighbor in topology.neighbors(node):
+            if link_rate_flits_per_cycle is not None:
+                rate = link_rate_flits_per_cycle
+            else:
+                rate = config.mbps_to_flits_per_cycle(
+                    topology.link_bandwidth(node, neighbor)
+                )
+            if rate <= 0:
+                raise SimulationError(f"link {node}->{neighbor} has rate {rate}")
+            output_specs[neighbor] = (rate, float(config.buffer_depth))
+        routers[node] = Router(
+            node,
+            input_keys,
+            output_specs,
+            buffer_depth=config.buffer_depth,
+            router_delay=config.router_delay,
+        )
+
+    # Wire credit feedback: each input port knows the output port feeding it.
+    for node, router in routers.items():
+        for neighbor in topology.neighbors(node):
+            upstream = routers[neighbor]
+            router.inputs[neighbor].feeder = upstream.outputs[node]
+
+    interfaces = {node: NetworkInterface(node, routers[node]) for node in topology.nodes}
+
+    sources: list[BurstyTrafficSource] = []
+    for commodity in sorted(commodities, key=lambda c: c.index):
+        rate = config.mbps_to_flits_per_cycle(commodity.value) * bandwidth_scale
+        source = BurstyTrafficSource(
+            commodity_index=commodity.index,
+            src_node=commodity.src_node,
+            dst_node=commodity.dst_node,
+            rate_flits_per_cycle=rate,
+            paths=commodity_paths(routing, commodity),
+            config=config,
+            rng=random.Random(config.seed * 1_000_003 + commodity.index),
+        )
+        sources.append(source)
+
+    link_rates = {
+        (link.src, link.dst): routers[link.src].outputs[link.dst].rate
+        for link in topology.links()
+    }
+    return Network(
+        topology=topology,
+        config=config,
+        routers=routers,
+        interfaces=interfaces,
+        sources=sources,
+        link_rates=link_rates,
+    )

@@ -1,0 +1,65 @@
+"""Network interfaces: packetization at injection, statistics at ejection.
+
+The NI mirrors ×pipes' network interface macro at the level the evaluation
+needs: it owns an unbounded injection queue of flits (the core can always
+hand data over; backpressure shows up as queueing delay, which is part of
+packet latency), feeds the router's local input port one flit per cycle
+when a buffer slot is free, and timestamps deliveries on the ejection side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.simnoc.packet import Flit, Packet, is_last_flit, make_flits
+from repro.simnoc.router import Router
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint attached to one router's local port."""
+
+    def __init__(self, node: int, router: Router) -> None:
+        self.node = node
+        self.router = router
+        self.injection_queue: deque[Flit] = deque()
+        self.delivered_packets: list[Packet] = []
+        self.flits_injected = 0
+        self.flits_ejected = 0
+
+    # ------------------------------------------------------------------
+    # injection side
+    # ------------------------------------------------------------------
+    def offer_packet(self, packet: Packet) -> None:
+        """Queue a packet's flits for injection."""
+        self.injection_queue.extend(make_flits(packet))
+
+    def inject(self, cycle: int, local_key: int) -> int:
+        """Move up to one flit into the router's local input port.
+
+        Returns the number of flits moved (0 or 1).
+        """
+        if not self.injection_queue:
+            return 0
+        port = self.router.inputs[local_key]
+        if port.free_slots <= 0:
+            return 0
+        flit = self.injection_queue.popleft()
+        if flit.is_head and flit.packet.injected_cycle is None:
+            flit.packet.injected_cycle = cycle
+        port.push(flit, cycle)
+        self.flits_injected += 1
+        return 1
+
+    @property
+    def backlog_flits(self) -> int:
+        return len(self.injection_queue)
+
+    # ------------------------------------------------------------------
+    # ejection side
+    # ------------------------------------------------------------------
+    def eject(self, flit: Flit, cycle: int) -> None:
+        """Receive a flit leaving the network at this node."""
+        self.flits_ejected += 1
+        if is_last_flit(flit):
+            flit.packet.delivered_cycle = cycle
+            self.delivered_packets.append(flit.packet)

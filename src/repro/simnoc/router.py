@@ -1,0 +1,230 @@
+"""Input-buffered wormhole router with credit flow control.
+
+Each router has one input port per incoming link (plus the local injection
+port) and one output port per outgoing link (plus ejection).  Wormhole
+switching: a head flit arbitrates for its output port; the port stays
+allocated to that packet until the tail passes, so a blocked head stalls
+the whole worm in place — the "domino effect" the paper blames for the
+non-linear latency growth of single-path routing at low link bandwidth.
+
+Timing model per flit and hop:
+
+* router pipeline: a flit becomes eligible to leave ``router_delay`` cycles
+  after entering the input buffer (Table 3's 7-cycle switch delay);
+* link serialization: an output port holds a token bucket refilled at the
+  link's rate in flits/cycle, so a 0.5 flit/cycle link moves a flit every
+  other cycle;
+* buffering: a flit moves only when the downstream input buffer has a free
+  slot (credit-based flow control; credits return when the downstream
+  buffer is popped).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simnoc.packet import Flit, is_last_flit
+
+#: Port key for the local (core-side) injection/ejection direction.
+LOCAL = -1
+
+
+@dataclass
+class InputPort:
+    """One input FIFO of a router; ``feeder`` is the upstream output port."""
+
+    router_node: int
+    from_key: int  # upstream node id, or LOCAL
+    capacity: int
+    queue: deque = field(default_factory=deque)  # entries: (enter_cycle, Flit)
+    feeder: "OutputPort | None" = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.queue)
+
+    def push(self, flit: Flit, cycle: int) -> None:
+        if self.free_slots <= 0:
+            raise SimulationError(
+                f"buffer overflow at node {self.router_node} port {self.from_key}"
+            )
+        self.queue.append((cycle, flit))
+
+    def visible_head(self, cycle: int, router_delay: int) -> Flit | None:
+        """The head-of-line flit if it has finished the router pipeline."""
+        if not self.queue:
+            return None
+        enter_cycle, flit = self.queue[0]
+        if cycle - enter_cycle >= router_delay:
+            return flit
+        return None
+
+    def pop(self) -> Flit:
+        _enter, flit = self.queue.popleft()
+        if self.feeder is not None:
+            self.feeder.credits += 1
+        return flit
+
+
+@dataclass
+class OutputPort:
+    """One output of a router, driving a link (or the ejection port).
+
+    ``rate`` is the link bandwidth in flits/cycle; ``credits`` mirrors the
+    free slots of the downstream input buffer (infinite for ejection).
+    """
+
+    router_node: int
+    to_key: int  # downstream node id, or LOCAL for ejection
+    rate: float
+    credits: float  # float('inf') for ejection
+    tokens: float = 0.0
+    owner: int | None = None  # input-port key holding the wormhole
+    owner_packet_id: int | None = None
+    rr_pointer: int = 0
+    flits_carried: int = 0
+
+    def refill(self) -> None:
+        """Token-bucket refill; capacity one extra token of headroom."""
+        self.tokens = min(self.tokens + self.rate, max(1.0, self.rate) + 1.0)
+
+    @property
+    def can_send(self) -> bool:
+        return self.tokens >= 1.0 and self.credits >= 1.0
+
+
+class Router:
+    """One mesh cross-point: input buffers, output ports, wormhole logic."""
+
+    def __init__(
+        self,
+        node: int,
+        input_keys: list[int],
+        output_specs: dict[int, tuple[float, float]],
+        buffer_depth: int,
+        router_delay: int,
+    ) -> None:
+        """
+        Args:
+            node: mesh node id.
+            input_keys: upstream node ids (LOCAL included by the builder).
+            output_specs: downstream key -> (rate flits/cycle, initial
+                credits); ejection uses ``float('inf')`` credits.
+            buffer_depth: input FIFO capacity in flits.
+            router_delay: pipeline latency in cycles.
+        """
+        self.node = node
+        self.router_delay = router_delay
+        self.inputs: dict[int, InputPort] = {
+            key: InputPort(node, key, buffer_depth) for key in input_keys
+        }
+        self.input_order = sorted(self.inputs)
+        self.outputs: dict[int, OutputPort] = {
+            key: OutputPort(node, key, rate, credits)
+            for key, (rate, credits) in output_specs.items()
+        }
+        self.output_order = sorted(self.outputs)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def next_hop_key(self, flit: Flit) -> int:
+        """Where this flit's packet goes next from this node.
+
+        The packet carries its full source route; the hop after this node is
+        the next output, and arriving at the route's last node means
+        ejection.
+
+        Raises:
+            SimulationError: when the route does not contain this node or
+                requests a missing output port.
+        """
+        path = flit.packet.path
+        try:
+            position = path.index(self.node)
+        except ValueError:
+            raise SimulationError(
+                f"packet {flit.packet.packet_id} routed through node "
+                f"{self.node} not on its path {path}"
+            ) from None
+        if position == len(path) - 1:
+            return LOCAL
+        nxt = path[position + 1]
+        if nxt not in self.outputs:
+            raise SimulationError(
+                f"node {self.node} has no output toward {nxt} "
+                f"(packet {flit.packet.packet_id})"
+            )
+        return nxt
+
+    # ------------------------------------------------------------------
+    # per-cycle operation
+    # ------------------------------------------------------------------
+    def _arbitrate(self, port: OutputPort, cycle: int) -> int | None:
+        """Round-robin among inputs whose visible head requests this output."""
+        n = len(self.input_order)
+        for offset in range(n):
+            key = self.input_order[(port.rr_pointer + offset) % n]
+            flit = self.inputs[key].visible_head(cycle, self.router_delay)
+            if flit is None or not flit.is_head:
+                continue
+            if self.next_hop_key(flit) == port.to_key:
+                port.rr_pointer = (self.input_order.index(key) + 1) % n
+                return key
+        return None
+
+    def step(self, cycle: int, deliver) -> int:
+        """Advance all output ports by one cycle.
+
+        Args:
+            cycle: current cycle number.
+            deliver: callback ``(from_node, to_key, flit, cycle)`` invoked
+                for every flit leaving this router (the network routes it to
+                the downstream input buffer or the ejection sink).
+
+        Returns:
+            Number of flits moved (the simulator's progress counter).
+        """
+        moved = 0
+        for out_key in self.output_order:
+            port = self.outputs[out_key]
+            port.refill()
+            if port.owner is None:
+                winner = self._arbitrate(port, cycle)
+                if winner is None:
+                    continue
+                port.owner = winner
+                head = self.inputs[winner].visible_head(cycle, self.router_delay)
+                assert head is not None
+                port.owner_packet_id = head.packet.packet_id
+            # Links faster than one flit/cycle (rate > 1) may move several
+            # flits per cycle — the token bucket provides the budget.
+            while port.owner is not None and port.can_send:
+                source = self.inputs[port.owner]
+                flit = source.visible_head(cycle, self.router_delay)
+                if flit is None or flit.packet.packet_id != port.owner_packet_id:
+                    break  # worm's next flit not here/ready yet
+                if self.next_hop_key(flit) != port.to_key:  # pragma: no cover
+                    raise SimulationError(
+                        f"worm of packet {flit.packet.packet_id} changed direction"
+                    )
+                source.pop()
+                port.tokens -= 1.0
+                if port.credits != float("inf"):
+                    port.credits -= 1.0
+                port.flits_carried += 1
+                deliver(self.node, port.to_key, flit, cycle)
+                moved += 1
+                if is_last_flit(flit):
+                    port.owner = None
+                    port.owner_packet_id = None
+        return moved
+
+    def buffered_flits(self) -> int:
+        return sum(port.occupancy for port in self.inputs.values())

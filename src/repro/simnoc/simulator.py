@@ -1,0 +1,185 @@
+"""The cycle-driven simulation loop and its report.
+
+Per cycle: traffic sources create packets (handed to their NI), NIs inject
+one flit each into their router's local port, then every router advances its
+output ports (arbitration, wormhole forwarding, link serialization, credit
+flow control).  Flits delivered to a router's ejection port reach the NI,
+which timestamps complete packets.
+
+Packets created during warmup or drain are excluded from statistics.  A
+watchdog aborts runs where no flit moves for a long stretch while traffic is
+in flight (wormhole + arbitrary multi-path source routing is not provably
+deadlock-free; at the evaluated loads deadlock does not occur, but silent
+hangs must not masquerade as results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.graphs.commodities import Commodity
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping
+from repro.routing.base import RoutingResult
+from repro.simnoc.config import SimConfig
+from repro.simnoc.network import Network, build_network
+from repro.simnoc.packet import Packet
+from repro.simnoc.router import LOCAL
+from repro.simnoc.stats import (
+    LatencyStats,
+    per_commodity_jitter,
+    per_commodity_latency_std,
+    per_commodity_means,
+)
+
+#: Cycles without any flit movement (while flits are in flight) that count
+#: as a deadlock.
+DEADLOCK_WINDOW = 50_000
+
+
+@dataclass
+class SimulationReport:
+    """Everything a simulation run produced.
+
+    Attributes:
+        stats: latency statistics over measured packets.
+        per_commodity_latency: mean latency per commodity index.
+        packets_created / packets_delivered: totals including warmup/drain.
+        cycles: cycles simulated.
+        link_utilization: delivered flits / (rate * cycles) per link.
+    """
+
+    stats: LatencyStats
+    per_commodity_latency: dict[int, float]
+    packets_created: int
+    packets_delivered: int
+    cycles: int
+    link_utilization: dict[tuple[int, int], float]
+    per_commodity_jitter: dict[int, float]
+    per_commodity_latency_std: dict[int, float]
+
+
+class Simulator:
+    """Drives a :class:`Network` for a configured number of cycles.
+
+    Args:
+        network: the built network to simulate.
+        trace: optional :class:`repro.simnoc.trace.TraceRecorder`; when
+            given, every flit movement is recorded (bounded by the
+            recorder's cap).
+    """
+
+    def __init__(self, network: Network, trace=None) -> None:
+        self.network = network
+        self.config = network.config
+        self.trace = trace
+        self._packet_counter = 0
+        self._all_packets: list[Packet] = []
+
+    def _next_packet_id(self) -> int:
+        self._packet_counter += 1
+        return self._packet_counter
+
+    def run(self) -> SimulationReport:
+        """Simulate warmup + measurement + drain and aggregate statistics.
+
+        Raises:
+            SimulationError: on detected deadlock or when no measured packet
+                is delivered.
+        """
+        network = self.network
+        config = self.config
+        measure_start = config.warmup_cycles
+        measure_end = config.warmup_cycles + config.measure_cycles
+        last_progress = 0
+
+        trace = self.trace
+
+        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
+            if trace is not None:
+                trace.record(from_node, to_key, flit, cycle)
+            if to_key == LOCAL:
+                network.interfaces[from_node].eject(flit, cycle)
+            else:
+                network.routers[to_key].inputs[from_node].push(flit, cycle)
+
+        for cycle in range(config.total_cycles):
+            moved = 0
+            for source in network.sources:
+                for packet in source.packets_for_cycle(cycle, self._next_packet_id):
+                    packet.measured = measure_start <= cycle < measure_end
+                    self._all_packets.append(packet)
+                    network.interfaces[packet.src_node].offer_packet(packet)
+            for node in sorted(network.interfaces):
+                moved += network.interfaces[node].inject(cycle, LOCAL)
+            for node in sorted(network.routers):
+                moved += network.routers[node].step(cycle, deliver)
+
+            if moved:
+                last_progress = cycle
+            elif (
+                cycle - last_progress > DEADLOCK_WINDOW
+                and network.total_buffered_flits() > 0
+            ):
+                raise SimulationError(
+                    f"deadlock: no flit moved since cycle {last_progress} "
+                    f"with {network.total_buffered_flits()} flits buffered"
+                )
+
+        delivered = [
+            packet
+            for ni in network.interfaces.values()
+            for packet in ni.delivered_packets
+        ]
+        measured = [packet for packet in delivered if packet.measured]
+        stats = LatencyStats.from_packets(measured)
+
+        utilization = {}
+        for (src, dst), rate in network.link_rates.items():
+            carried = network.routers[src].outputs[dst].flits_carried
+            utilization[(src, dst)] = carried / (rate * config.total_cycles)
+
+        return SimulationReport(
+            stats=stats,
+            per_commodity_latency=per_commodity_means(measured),
+            packets_created=len(self._all_packets),
+            packets_delivered=len(delivered),
+            cycles=config.total_cycles,
+            link_utilization=utilization,
+            per_commodity_jitter=per_commodity_jitter(measured),
+            per_commodity_latency_std=per_commodity_latency_std(measured),
+        )
+
+
+def simulate_mapping(
+    topology: NoCTopology,
+    commodities: list[Commodity],
+    routing: RoutingResult,
+    config: SimConfig,
+    link_rate_flits_per_cycle: float | None = None,
+    bandwidth_scale: float = 1.0,
+) -> SimulationReport:
+    """Convenience wrapper: build the network and run one simulation."""
+    network = build_network(
+        topology,
+        commodities,
+        routing,
+        config,
+        link_rate_flits_per_cycle=link_rate_flits_per_cycle,
+        bandwidth_scale=bandwidth_scale,
+    )
+    return Simulator(network).run()
+
+
+def simulate_mapped_application(
+    mapping: Mapping,
+    routing: RoutingResult,
+    config: SimConfig,
+    **kwargs,
+) -> SimulationReport:
+    """Simulate a mapped application using its core graph's bandwidths."""
+    from repro.graphs.commodities import build_commodities
+
+    commodities = build_commodities(mapping.core_graph, mapping)
+    return simulate_mapping(mapping.topology, commodities, routing, config, **kwargs)

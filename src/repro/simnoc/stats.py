@@ -1,0 +1,111 @@
+"""Latency and throughput statistics over delivered packets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simnoc.packet import Packet
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a set of packet latencies (cycles).
+
+    Attributes:
+        count: packets measured.
+        mean: average creation-to-delivery latency.
+        p50/p95/p99: percentiles.
+        maximum: worst observed latency.
+        mean_network: average injection-to-delivery latency (NI queueing
+            excluded).
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    mean_network: float
+
+    @classmethod
+    def from_packets(cls, packets: list[Packet]) -> "LatencyStats":
+        """Aggregate the measured, delivered packets.
+
+        Raises:
+            SimulationError: when no measured packets were delivered (the
+                run was too short or the network deadlocked silently).
+        """
+        latencies = sorted(p.latency for p in packets if p.measured)
+        if not latencies:
+            raise SimulationError("no measured packets delivered")
+        network = [p.network_latency for p in packets if p.measured]
+
+        def percentile(fraction: float) -> float:
+            index = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
+            return float(latencies[index])
+
+        return cls(
+            count=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            p99=percentile(0.99),
+            maximum=float(latencies[-1]),
+            mean_network=sum(network) / len(network),
+        )
+
+
+def per_commodity_means(packets: list[Packet]) -> dict[int, float]:
+    """Mean latency per commodity index over measured packets."""
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for packet in packets:
+        if not packet.measured:
+            continue
+        sums[packet.commodity_index] = sums.get(packet.commodity_index, 0.0) + packet.latency
+        counts[packet.commodity_index] = counts.get(packet.commodity_index, 0) + 1
+    return {index: sums[index] / counts[index] for index in sums}
+
+
+def _std(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def per_commodity_jitter(packets: list[Packet]) -> dict[int, float]:
+    """Delivery jitter per commodity: std of gaps between adjacent deliveries.
+
+    The paper defines jitter as "the time between the delivery of adjacent
+    packets" and motivates NMAPTM (split across equal-hop minimum paths)
+    for low-jitter traffic — packets taking paths of different lengths
+    arrive unevenly.  This measures exactly that: for each commodity, the
+    standard deviation of consecutive delivery-time gaps.
+    """
+    deliveries: dict[int, list[int]] = {}
+    for packet in packets:
+        if not packet.measured or packet.delivered_cycle is None:
+            continue
+        deliveries.setdefault(packet.commodity_index, []).append(
+            packet.delivered_cycle
+        )
+    jitter: dict[int, float] = {}
+    for index, times in deliveries.items():
+        times.sort()
+        gaps = [float(b - a) for a, b in zip(times, times[1:])]
+        jitter[index] = _std(gaps)
+    return jitter
+
+
+def per_commodity_latency_std(packets: list[Packet]) -> dict[int, float]:
+    """Latency standard deviation per commodity (path-length mixing shows
+    up here even when delivery gaps stay regular)."""
+    latencies: dict[int, list[float]] = {}
+    for packet in packets:
+        if not packet.measured:
+            continue
+        latencies.setdefault(packet.commodity_index, []).append(float(packet.latency))
+    return {index: _std(values) for index, values in latencies.items()}

@@ -1,0 +1,108 @@
+"""Tests for the application suite (core counts, figures' numbers, registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import VIDEO_APPS, all_apps, dsd, dsp_filter, get_app, mpeg4, mwa, mwag, pip, vopd
+from repro.apps.dsp import dsp_mesh
+from repro.errors import GraphError
+
+
+class TestCoreCounts:
+    """§7.1 names the core count of every application."""
+
+    @pytest.mark.parametrize(
+        "factory,count",
+        [(mpeg4, 14), (vopd, 16), (pip, 8), (mwa, 14), (mwag, 16), (dsd, 16), (dsp_filter, 6)],
+    )
+    def test_counts_match_paper(self, factory, count):
+        assert factory().num_cores == count
+
+
+class TestVopd:
+    def test_figure1_bandwidth_multiset(self):
+        """Edge weights must be exactly the numbers printed in Figure 1."""
+        weights = sorted(flow.bandwidth for flow in vopd().flows())
+        expected = sorted(
+            [70, 362, 362, 362, 357, 353, 300, 313, 313, 313, 500, 94, 157, 27, 49]
+            + [16] * 6
+        )
+        assert weights == [float(w) for w in expected]
+
+    def test_total_bandwidth(self):
+        assert vopd().total_bandwidth() == pytest.approx(4028.0)
+
+    def test_connected(self):
+        assert vopd().is_connected()
+
+    def test_pipeline_backbone(self):
+        graph = vopd()
+        assert graph.bandwidth("run_le_dec", "inv_scan") == 362.0
+        assert graph.bandwidth("ref_mem", "up_samp") == 500.0
+        assert graph.bandwidth("stripe_mem", "acdc_pred") == 27.0
+
+
+class TestDsp:
+    def test_figure5a_weights(self):
+        weights = sorted(flow.bandwidth for flow in dsp_filter().flows())
+        assert weights == [200.0] * 6 + [600.0] * 2
+
+    def test_heavy_pair_is_filter_ifft(self):
+        graph = dsp_filter()
+        assert graph.bandwidth("filter", "ifft") == 600.0
+        assert graph.bandwidth("ifft", "filter") == 600.0
+
+    def test_mesh_is_2x3(self):
+        mesh = dsp_mesh()
+        assert (mesh.width, mesh.height) == (3, 2)
+        assert mesh.num_nodes == 6
+
+
+class TestSuiteWide:
+    def test_all_connected(self):
+        for name, app in all_apps().items():
+            assert app.is_connected(), name
+
+    def test_all_positive_bandwidths(self):
+        for app in all_apps().values():
+            assert all(flow.bandwidth > 0 for flow in app.flows())
+
+    def test_all_fit_smallest_mesh(self):
+        from repro.graphs.topology import NoCTopology
+
+        for app in all_apps().values():
+            mesh = NoCTopology.smallest_mesh_for(app.num_cores)
+            assert mesh.num_nodes >= app.num_cores
+
+    def test_video_apps_order(self):
+        assert VIDEO_APPS == ("mpeg4", "vopd", "pip", "mwa", "mwag", "dsd")
+
+    def test_names_match_registry(self):
+        for name in VIDEO_APPS:
+            assert get_app(name).name == name
+
+    def test_factories_return_fresh_objects(self):
+        a, b = vopd(), vopd()
+        assert a == b
+        assert a is not b
+
+    def test_unknown_app(self):
+        with pytest.raises(GraphError, match="unknown application"):
+            get_app("doom")
+
+    def test_mwag_extends_mwa(self):
+        base, extended = mwa(), mwag()
+        for flow in base.flows():
+            assert extended.bandwidth(flow.src, flow.dst) == flow.bandwidth
+        assert extended.num_cores == base.num_cores + 2
+
+    def test_dsd_two_symmetric_pipelines(self):
+        graph = dsd()
+        assert graph.bandwidth("split", "mem_a") == graph.bandwidth("split", "mem_b")
+        assert graph.bandwidth("mix_a", "dmem_a") == graph.bandwidth("mix_b", "dmem_b")
+
+    def test_mpeg4_sdram_is_hub(self):
+        graph = mpeg4()
+        sdram_traffic = graph.core_traffic("sdram")
+        assert sdram_traffic > 0.4 * graph.total_bandwidth()

@@ -1,0 +1,48 @@
+"""Shared fixtures: small graphs and meshes used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+
+
+@pytest.fixture
+def tiny_graph() -> CoreGraph:
+    """Three cores in a line: a -100-> b -50-> c."""
+    graph = CoreGraph(name="tiny")
+    graph.add_traffic("a", "b", 100.0)
+    graph.add_traffic("b", "c", 50.0)
+    return graph
+
+
+@pytest.fixture
+def square_graph() -> CoreGraph:
+    """Four cores in a weighted cycle (unique optimal placement shape)."""
+    graph = CoreGraph(name="square")
+    graph.add_traffic("a", "b", 100.0)
+    graph.add_traffic("b", "c", 80.0)
+    graph.add_traffic("c", "d", 60.0)
+    graph.add_traffic("d", "a", 40.0)
+    return graph
+
+
+@pytest.fixture
+def mesh2x2() -> NoCTopology:
+    return NoCTopology.mesh(2, 2, link_bandwidth=1000.0)
+
+
+@pytest.fixture
+def mesh3x3() -> NoCTopology:
+    return NoCTopology.mesh(3, 3, link_bandwidth=1000.0)
+
+
+@pytest.fixture
+def mesh4x4() -> NoCTopology:
+    return NoCTopology.mesh(4, 4, link_bandwidth=1000.0)
+
+
+@pytest.fixture
+def torus3x3() -> NoCTopology:
+    return NoCTopology.torus_grid(3, 3, link_bandwidth=1000.0)

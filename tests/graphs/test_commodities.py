@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.graphs.commodities`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs.commodities import build_commodities
+from repro.mapping.base import Mapping
+
+
+class TestBuildCommodities:
+    def test_one_commodity_per_flow(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1, "c": 3})
+        commodities = build_commodities(tiny_graph, mapping)
+        assert len(commodities) == tiny_graph.num_flows
+
+    def test_sorted_by_decreasing_value(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1, "c": 3})
+        commodities = build_commodities(tiny_graph, mapping)
+        values = [c.value for c in commodities]
+        assert values == sorted(values, reverse=True)
+        assert [c.index for c in commodities] == list(range(len(commodities)))
+
+    def test_endpoints_follow_mapping(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 2, "b": 0, "c": 1})
+        by_cores = {
+            (c.src_core, c.dst_core): c for c in build_commodities(tiny_graph, mapping)
+        }
+        assert by_cores[("a", "b")].src_node == 2
+        assert by_cores[("a", "b")].dst_node == 0
+        assert by_cores[("b", "c")].dst_node == 1
+
+    def test_values_are_bandwidths(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1, "c": 3})
+        by_cores = {
+            (c.src_core, c.dst_core): c.value
+            for c in build_commodities(tiny_graph, mapping)
+        }
+        assert by_cores == {("a", "b"): 100.0, ("b", "c"): 50.0}
+
+    def test_unmapped_core_rejected(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        with pytest.raises(MappingError, match="not mapped"):
+            build_commodities(tiny_graph, mapping)
+
+    def test_deterministic_tie_order(self, mesh3x3):
+        from repro.graphs.core_graph import CoreGraph
+
+        graph = CoreGraph()
+        graph.add_traffic("x", "y", 10.0)
+        graph.add_traffic("a", "b", 10.0)  # same value: ties break by name
+        mapping = Mapping(graph, mesh3x3, {"x": 0, "y": 1, "a": 2, "b": 3})
+        commodities = build_commodities(graph, mapping)
+        assert (commodities[0].src_core, commodities[1].src_core) == ("a", "x")

@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.graphs.core_graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.core_graph import CoreGraph, TrafficFlow
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = CoreGraph(name="empty")
+        assert graph.num_cores == 0
+        assert graph.num_flows == 0
+        assert graph.total_bandwidth() == 0.0
+
+    def test_add_core_idempotent(self):
+        graph = CoreGraph()
+        graph.add_core("a")
+        graph.add_core("a")
+        assert graph.cores == ["a"]
+
+    def test_add_core_empty_name_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            CoreGraph().add_core("")
+
+    def test_add_traffic_creates_endpoints(self):
+        graph = CoreGraph()
+        graph.add_traffic("x", "y", 10.0)
+        assert graph.has_core("x")
+        assert graph.has_core("y")
+        assert graph.bandwidth("x", "y") == 10.0
+
+    def test_add_traffic_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            CoreGraph().add_traffic("a", "a", 5.0)
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0, -100.5])
+    def test_add_traffic_rejects_non_positive(self, bandwidth):
+        with pytest.raises(GraphError, match="positive"):
+            CoreGraph().add_traffic("a", "b", bandwidth)
+
+    def test_parallel_edges_sum(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 10.0)
+        graph.add_traffic("a", "b", 5.0)
+        assert graph.bandwidth("a", "b") == 15.0
+        assert graph.num_flows == 1
+
+    def test_from_flows_tuples(self):
+        graph = CoreGraph.from_flows([("a", "b", 1.0), ("b", "c", 2.0)], name="g")
+        assert graph.num_cores == 3
+        assert graph.name == "g"
+
+    def test_from_flows_objects(self):
+        flows = [TrafficFlow("a", "b", 3.0)]
+        graph = CoreGraph.from_flows(flows)
+        assert graph.bandwidth("a", "b") == 3.0
+
+
+class TestQueries:
+    def test_directed_bandwidth_asymmetric(self, tiny_graph):
+        assert tiny_graph.bandwidth("a", "b") == 100.0
+        assert tiny_graph.bandwidth("b", "a") == 0.0
+
+    def test_traffic_between_sums_directions(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 10.0)
+        graph.add_traffic("b", "a", 7.0)
+        assert graph.traffic_between("a", "b") == 17.0
+        assert graph.traffic_between("b", "a") == 17.0
+
+    def test_core_traffic_counts_both_directions(self, tiny_graph):
+        assert tiny_graph.core_traffic("b") == 150.0
+        assert tiny_graph.core_traffic("a") == 100.0
+
+    def test_core_traffic_unknown_core(self, tiny_graph):
+        with pytest.raises(GraphError, match="unknown core"):
+            tiny_graph.core_traffic("zzz")
+
+    def test_neighbors_undirected(self, tiny_graph):
+        assert tiny_graph.neighbors("b") == {"a", "c"}
+
+    def test_successors_predecessors(self, tiny_graph):
+        assert tiny_graph.successors("a") == {"b": 100.0}
+        assert tiny_graph.predecessors("c") == {"b": 50.0}
+
+    def test_flows_iteration(self, tiny_graph):
+        flows = sorted(tiny_graph.flows())
+        assert flows == [TrafficFlow("a", "b", 100.0), TrafficFlow("b", "c", 50.0)]
+
+    def test_total_bandwidth(self, tiny_graph):
+        assert tiny_graph.total_bandwidth() == 150.0
+
+    def test_contains_and_len(self, tiny_graph):
+        assert "a" in tiny_graph
+        assert "zzz" not in tiny_graph
+        assert len(tiny_graph) == 3
+
+    def test_undirected_weights_collapse(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 10.0)
+        graph.add_traffic("b", "a", 5.0)
+        collapsed = graph.undirected_weights()
+        assert collapsed == {frozenset({"a", "b"}): 15.0}
+
+    def test_is_connected_true(self, tiny_graph):
+        assert tiny_graph.is_connected()
+
+    def test_is_connected_false(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 1.0)
+        graph.add_core("island")
+        assert not graph.is_connected()
+
+    def test_is_connected_singleton_and_empty(self):
+        assert CoreGraph().is_connected()
+        graph = CoreGraph()
+        graph.add_core("only")
+        assert graph.is_connected()
+
+
+class TestTransforms:
+    def test_renamed(self, tiny_graph):
+        renamed = tiny_graph.renamed({"a": "x", "b": "y", "c": "z"})
+        assert renamed.bandwidth("x", "y") == 100.0
+        assert not renamed.has_core("a")
+
+    def test_renamed_missing_entry(self, tiny_graph):
+        with pytest.raises(GraphError, match="missing cores"):
+            tiny_graph.renamed({"a": "x"})
+
+    def test_scaled(self, tiny_graph):
+        doubled = tiny_graph.scaled(2.0)
+        assert doubled.bandwidth("a", "b") == 200.0
+        assert tiny_graph.bandwidth("a", "b") == 100.0  # original untouched
+
+    def test_scaled_rejects_non_positive(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.scaled(0.0)
+
+    def test_to_networkx(self, tiny_graph):
+        nx_graph = tiny_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph["a"]["b"]["bandwidth"] == 100.0
+
+    def test_equality_by_structure(self):
+        g1 = CoreGraph.from_flows([("a", "b", 1.0)])
+        g2 = CoreGraph.from_flows([("a", "b", 1.0)])
+        g3 = CoreGraph.from_flows([("a", "b", 2.0)])
+        assert g1 == g2
+        assert g1 != g3
+
+    def test_repr_mentions_stats(self, tiny_graph):
+        text = repr(tiny_graph)
+        assert "cores=3" in text
+        assert "flows=2" in text
+
+
+class TestTrafficFlow:
+    def test_reversed(self):
+        flow = TrafficFlow("a", "b", 9.0)
+        assert flow.reversed() == TrafficFlow("b", "a", 9.0)
+
+    def test_ordering(self):
+        flows = sorted([TrafficFlow("b", "c", 1.0), TrafficFlow("a", "z", 2.0)])
+        assert flows[0].src == "a"

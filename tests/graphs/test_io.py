@@ -1,0 +1,103 @@
+"""Unit tests for graph serialization (JSON and DOT)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.io import (
+    core_graph_from_dict,
+    core_graph_to_dict,
+    core_graph_to_dot,
+    load_core_graph,
+    mapping_to_dot,
+    save_core_graph,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.graphs.topology import NoCTopology
+
+
+class TestCoreGraphJson:
+    def test_roundtrip_dict(self, tiny_graph):
+        payload = core_graph_to_dict(tiny_graph)
+        assert core_graph_from_dict(payload) == tiny_graph
+
+    def test_roundtrip_file(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_core_graph(tiny_graph, path)
+        loaded = load_core_graph(path)
+        assert loaded == tiny_graph
+        assert loaded.name == "tiny"
+
+    def test_isolated_cores_preserved(self, tmp_path):
+        from repro.graphs.core_graph import CoreGraph
+
+        graph = CoreGraph(name="iso")
+        graph.add_traffic("a", "b", 1.0)
+        graph.add_core("island")
+        path = tmp_path / "iso.json"
+        save_core_graph(graph, path)
+        assert load_core_graph(path).has_core("island")
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(GraphError, match="kind"):
+            core_graph_from_dict({"kind": "something-else", "schema": 1})
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(GraphError, match="schema"):
+            core_graph_from_dict({"kind": "core-graph", "schema": 99})
+
+    def test_missing_flow_field(self):
+        payload = {
+            "kind": "core-graph",
+            "schema": 1,
+            "cores": ["a", "b"],
+            "flows": [{"src": "a", "bandwidth": 1.0}],
+        }
+        with pytest.raises(GraphError, match="missing field"):
+            core_graph_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError, match="invalid JSON"):
+            load_core_graph(path)
+
+    def test_file_is_valid_json(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_core_graph(tiny_graph, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "core-graph"
+
+
+class TestTopologyJson:
+    def test_roundtrip(self, mesh3x3):
+        mesh3x3.set_link_bandwidth(0, 1, 77.0)
+        clone = topology_from_dict(topology_to_dict(mesh3x3))
+        assert clone.width == 3 and clone.height == 3
+        assert clone.link_bandwidth(0, 1) == 77.0
+        assert clone.link_bandwidth(1, 0) == 1000.0
+
+    def test_torus_flag_preserved(self, torus3x3):
+        clone = topology_from_dict(topology_to_dict(torus3x3))
+        assert clone.torus
+
+    def test_wrong_kind(self):
+        with pytest.raises(GraphError):
+            topology_from_dict({"kind": "core-graph", "schema": 1})
+
+
+class TestDot:
+    def test_core_graph_dot(self, tiny_graph):
+        dot = core_graph_to_dot(tiny_graph)
+        assert dot.startswith('digraph "tiny"')
+        assert '"a" -> "b" [label="100"]' in dot
+
+    def test_mapping_dot(self, mesh2x2):
+        dot = mapping_to_dot(mesh2x2, {0: "cpu", 1: None, 2: "mem", 3: None})
+        assert "cpu" in dot
+        assert "(empty)" in dot
+        assert dot.count("->") >= 4

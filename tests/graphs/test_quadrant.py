@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.graphs.quadrant`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.quadrant import (
+    count_minimal_paths,
+    enumerate_minimal_paths,
+    quadrant_links,
+    quadrant_nodes,
+)
+from repro.graphs.topology import NoCTopology
+
+
+class TestQuadrantNodes:
+    def test_rectangle(self, mesh4x4):
+        # nodes 0 (0,0) and 5 (1,1): quadrant is the 2x2 box
+        nodes = set(quadrant_nodes(mesh4x4, 0, 5))
+        assert nodes == {0, 1, 4, 5}
+
+    def test_full_diagonal(self, mesh4x4):
+        assert set(quadrant_nodes(mesh4x4, 0, 15)) == set(range(16))
+
+    def test_same_row(self, mesh4x4):
+        assert set(quadrant_nodes(mesh4x4, 0, 3)) == {0, 1, 2, 3}
+
+    def test_orientation_invariant(self, mesh4x4):
+        assert set(quadrant_nodes(mesh4x4, 5, 0)) == set(quadrant_nodes(mesh4x4, 0, 5))
+
+    def test_torus_takes_short_way(self, torus3x3):
+        # 0 (0,0) -> 2 (2,0) wraps: quadrant is just the two nodes
+        assert set(quadrant_nodes(torus3x3, 0, 2)) == {0, 2}
+
+
+class TestQuadrantLinks:
+    def test_links_within_box(self, mesh4x4):
+        links = quadrant_links(mesh4x4, 0, 5)
+        inside = {0, 1, 4, 5}
+        assert links
+        assert all(u in inside and v in inside for u, v in links)
+
+    def test_monotone_links_point_toward_destination(self, mesh4x4):
+        links = quadrant_links(mesh4x4, 0, 5, monotone=True)
+        for u, v in links:
+            assert mesh4x4.distance(v, 5) == mesh4x4.distance(u, 5) - 1
+
+    def test_monotone_subset_of_quadrant(self, mesh4x4):
+        all_links = set(quadrant_links(mesh4x4, 0, 15))
+        mono = set(quadrant_links(mesh4x4, 0, 15, monotone=True))
+        assert mono < all_links
+
+    def test_same_node_rejected(self, mesh4x4):
+        with pytest.raises(GraphError):
+            quadrant_links(mesh4x4, 3, 3)
+
+
+class TestPathEnumeration:
+    @pytest.mark.parametrize(
+        "src,dst,count",
+        [(0, 1, 1), (0, 5, 2), (0, 15, 20), (0, 3, 1), (12, 3, 20)],
+    )
+    def test_count_minimal_paths(self, mesh4x4, src, dst, count):
+        assert count_minimal_paths(mesh4x4, src, dst) == count
+
+    def test_count_binomial(self):
+        mesh = NoCTopology.mesh(5, 5)
+        # (0,0) -> (4,4): C(8,4) = 70 paths
+        assert count_minimal_paths(mesh, 0, 24) == 70
+
+    def test_enumerate_matches_count(self, mesh4x4):
+        paths = enumerate_minimal_paths(mesh4x4, 0, 15)
+        assert len(paths) == 20
+        assert len({tuple(p) for p in paths}) == 20
+
+    def test_enumerated_paths_are_minimal(self, mesh4x4):
+        for path in enumerate_minimal_paths(mesh4x4, 0, 15):
+            assert len(path) - 1 == mesh4x4.distance(0, 15)
+            assert path[0] == 0 and path[-1] == 15
+            for u, v in zip(path, path[1:]):
+                assert mesh4x4.has_link(u, v)
+
+    def test_enumerate_trivial(self, mesh4x4):
+        assert enumerate_minimal_paths(mesh4x4, 7, 7) == [[7]]
+
+    def test_enumerate_limit(self, mesh4x4):
+        with pytest.raises(GraphError, match="exceed limit"):
+            enumerate_minimal_paths(mesh4x4, 0, 15, limit=10)
+
+    def test_single_count_for_same_node(self, mesh4x4):
+        assert count_minimal_paths(mesh4x4, 4, 4) == 1

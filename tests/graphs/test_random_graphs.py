@@ -1,0 +1,71 @@
+"""Unit tests for the LEDA-substitute random core-graph generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.random_graphs import random_core_graph, random_graph_suite
+
+
+class TestRandomCoreGraph:
+    def test_size(self):
+        graph = random_core_graph(25, seed=1)
+        assert graph.num_cores == 25
+
+    def test_connected(self):
+        for seed in range(5):
+            assert random_core_graph(30, seed=seed).is_connected()
+
+    def test_deterministic_per_seed(self):
+        assert random_core_graph(20, seed=7) == random_core_graph(20, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_core_graph(20, seed=7) != random_core_graph(20, seed=8)
+
+    def test_bandwidths_in_range(self):
+        graph = random_core_graph(40, seed=3, bandwidth_range=(16.0, 800.0))
+        for flow in graph.flows():
+            assert 1.0 <= flow.bandwidth <= 800.0
+
+    def test_edge_count_scales(self):
+        graph = random_core_graph(30, seed=2, extra_edge_factor=2.0)
+        # spanning tree (29) + ~60 extras
+        assert graph.num_flows >= 29
+        assert graph.num_flows <= 29 + 60
+
+    def test_zero_extra_edges(self):
+        graph = random_core_graph(10, seed=1, extra_edge_factor=0.0)
+        assert graph.num_flows == 9  # just the spanning tree
+
+    @pytest.mark.parametrize("cores", [0, 1])
+    def test_too_small(self, cores):
+        with pytest.raises(GraphError):
+            random_core_graph(cores, seed=1)
+
+    def test_bad_bandwidth_range(self):
+        with pytest.raises(GraphError):
+            random_core_graph(5, seed=1, bandwidth_range=(100.0, 10.0))
+
+    def test_negative_extra_factor(self):
+        with pytest.raises(GraphError):
+            random_core_graph(5, seed=1, extra_edge_factor=-1.0)
+
+    def test_no_self_loops(self):
+        graph = random_core_graph(50, seed=11)
+        assert all(flow.src != flow.dst for flow in graph.flows())
+
+
+class TestSuite:
+    def test_paper_sizes(self):
+        suite = random_graph_suite()
+        assert [g.num_cores for g in suite] == [25, 35, 45, 55, 65]
+
+    def test_suite_reproducible(self):
+        a = random_graph_suite(sizes=(10, 12), seed=5)
+        b = random_graph_suite(sizes=(10, 12), seed=5)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_suite_names(self):
+        (graph,) = random_graph_suite(sizes=(10,), seed=5)
+        assert "random-10" in graph.name

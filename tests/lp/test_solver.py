@@ -1,0 +1,127 @@
+"""Unit tests for the scipy-backed LP/MILP solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverError
+from repro.lp.model import LinearProgram, lin_sum
+from repro.lp.solver import SolveStatus, solve
+
+
+class TestLinearPrograms:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", low=1.0)
+        y = lp.add_var("y", low=2.0)
+        lp.set_objective(x + y)
+        solution = solve(lp)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.value_of(x) == pytest.approx(1.0)
+
+    def test_constrained_optimum(self):
+        # min x + 2y  s.t. x + y >= 4, x <= 3
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        y = lp.add_var("y")
+        lp.add_constraint(x + y >= 4.0)
+        lp.add_constraint(x <= 3.0)
+        lp.set_objective(x + 2 * y)
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(5.0)  # x=3, y=1
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        y = lp.add_var("y")
+        lp.add_constraint((x + y).equals(10.0))
+        lp.set_objective(x)
+        solution = solve(lp)
+        assert solution.value_of(x) == pytest.approx(0.0)
+        assert solution.value_of(y) == pytest.approx(10.0)
+
+    def test_objective_constant_included(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", low=2.0)
+        lp.set_objective(x + 100.0)
+        assert solve(lp).objective == pytest.approx(102.0)
+
+    def test_maximization(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", high=7.0)
+        lp.set_objective(x, minimize=False)
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(7.0)
+
+    def test_infeasible_status(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", high=1.0)
+        lp.add_constraint(x >= 2.0)
+        lp.set_objective(x)
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_status(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", low=None)
+        lp.set_objective(x)
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SolverError, match="no variables"):
+            solve(LinearProgram())
+
+    def test_nonoptimal_has_no_values(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", high=1.0)
+        lp.add_constraint(x >= 2.0)
+        lp.set_objective(x)
+        assert solve(lp).values == ()
+
+
+class TestMilp:
+    def test_binary_knapsack(self):
+        # max 3a + 4b + 2c  s.t. 2a + 3b + c <= 4, binary
+        lp = LinearProgram()
+        a = lp.add_var("a", high=1.0, integer=True)
+        b = lp.add_var("b", high=1.0, integer=True)
+        c = lp.add_var("c", high=1.0, integer=True)
+        lp.add_constraint(2 * a + 3 * b + c <= 4.0)
+        lp.set_objective(3 * a + 4 * b + 2 * c, minimize=False)
+        solution = solve(lp)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(6.0)  # b + c
+        assert solution.value_of(b) == pytest.approx(1.0)
+
+    def test_integrality_enforced(self):
+        # LP relaxation would pick x = 2.5
+        lp = LinearProgram()
+        x = lp.add_var("x", integer=True)
+        lp.add_constraint(2 * x >= 5.0)
+        lp.set_objective(x)
+        assert solve(lp).objective == pytest.approx(3.0)
+
+    def test_mixed_integer_and_continuous(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", integer=True, high=10.0)
+        y = lp.add_var("y")
+        lp.add_constraint((x + y).equals(3.5))
+        lp.set_objective(y)
+        solution = solve(lp)
+        assert solution.value_of(y) == pytest.approx(0.5)
+        assert solution.value_of(x) == pytest.approx(3.0)
+
+    def test_infeasible_milp(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", high=1.0, integer=True)
+        lp.add_constraint(x >= 2.0)
+        lp.set_objective(x)
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_equality_milp(self):
+        lp = LinearProgram()
+        picks = [lp.add_var(f"p{i}", high=1.0, integer=True) for i in range(4)]
+        lp.add_constraint(lin_sum(picks).equals(1.0))
+        lp.set_objective(lin_sum(p * (i + 1) for i, p in enumerate(picks)))
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the simulated-annealing mapper extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.annealing import annealing_mapping
+from repro.mapping.exhaustive import exhaustive_best_mapping
+from repro.mapping.initializer import initial_mapping
+from repro.metrics.comm_cost import comm_cost
+
+
+class TestAnnealing:
+    def test_complete_and_feasible(self, square_graph, mesh2x2):
+        result = annealing_mapping(square_graph, mesh2x2, seed=1)
+        assert result.mapping.is_complete
+        assert result.feasible
+        assert result.algorithm == "annealing"
+
+    def test_reaches_optimum_on_tiny_instance(self, square_graph, mesh2x2):
+        oracle = exhaustive_best_mapping(square_graph, mesh2x2)
+        result = annealing_mapping(square_graph, mesh2x2, seed=3)
+        assert result.comm_cost == pytest.approx(oracle.comm_cost)
+
+    def test_never_worse_than_seed(self, mesh4x4):
+        from repro.apps import vopd
+
+        app = vopd()
+        mesh = mesh4x4.with_uniform_bandwidth(1e5)
+        seed_cost = comm_cost(initial_mapping(app, mesh))
+        result = annealing_mapping(app, mesh, seed=7)
+        assert result.comm_cost <= seed_cost
+
+    def test_deterministic_per_seed(self, square_graph, mesh3x3):
+        a = annealing_mapping(square_graph, mesh3x3, seed=5)
+        b = annealing_mapping(square_graph, mesh3x3, seed=5)
+        assert a.mapping == b.mapping
+        assert a.comm_cost == b.comm_cost
+
+    def test_stats_recorded(self, square_graph, mesh2x2):
+        result = annealing_mapping(square_graph, mesh2x2, seed=1)
+        assert result.stats["moves_attempted"] > 0
+        assert result.stats["moves_accepted"] > 0
+        assert result.stats["final_temperature"] > 0
+
+    def test_empty_rejected(self, mesh2x2):
+        with pytest.raises(MappingError):
+            annealing_mapping(CoreGraph(), mesh2x2)
+
+    def test_bad_cooling_rejected(self, square_graph, mesh2x2):
+        with pytest.raises(MappingError, match="cooling"):
+            annealing_mapping(square_graph, mesh2x2, cooling=1.5)
+
+    def test_infeasible_reports_inf(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 9000.0)
+        result = annealing_mapping(graph, NoCTopology.mesh(2, 2, link_bandwidth=10.0))
+        assert not result.feasible
+        assert result.comm_cost == float("inf")
+
+    def test_matches_pbb_on_pip(self, mesh3x3):
+        """Annealing should find the 832 optimum PBB finds on PIP."""
+        from repro.apps import pip
+
+        app = pip()
+        mesh = mesh3x3.with_uniform_bandwidth(1e5)
+        result = annealing_mapping(app, mesh, seed=1)
+        assert result.comm_cost <= 960.0  # at least as good as NMAP's optimum

@@ -1,0 +1,150 @@
+"""Unit tests for the Mapping container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.base import Mapping, MappingResult
+
+
+class TestAssignment:
+    def test_assign_and_lookup(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2)
+        mapping.assign("a", 0)
+        assert mapping.node_of("a") == 0
+        assert mapping.core_at(0) == "a"
+        assert mapping.is_mapped("a")
+        assert not mapping.is_mapped("b")
+
+    def test_too_many_cores_rejected(self, square_graph):
+        from repro.graphs.topology import NoCTopology
+
+        with pytest.raises(MappingError, match=r"\|V\| <= \|U\|"):
+            Mapping(square_graph, NoCTopology.mesh(3, 1))
+
+    def test_double_assign_core(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        with pytest.raises(MappingError, match="already mapped"):
+            mapping.assign("a", 1)
+
+    def test_double_assign_node(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        with pytest.raises(MappingError, match="already hosts"):
+            mapping.assign("b", 0)
+
+    def test_unknown_core(self, tiny_graph, mesh2x2):
+        with pytest.raises(MappingError, match="unknown core"):
+            Mapping(tiny_graph, mesh2x2).assign("ghost", 0)
+
+    def test_node_out_of_range(self, tiny_graph, mesh2x2):
+        with pytest.raises(MappingError, match="outside"):
+            Mapping(tiny_graph, mesh2x2).assign("a", 99)
+
+    def test_unassign(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        mapping.unassign("a")
+        assert not mapping.is_mapped("a")
+        assert mapping.core_at(0) is None
+
+    def test_unassign_unmapped(self, tiny_graph, mesh2x2):
+        with pytest.raises(MappingError):
+            Mapping(tiny_graph, mesh2x2).unassign("a")
+
+    def test_node_of_unmapped(self, tiny_graph, mesh2x2):
+        with pytest.raises(MappingError, match="not mapped"):
+            Mapping(tiny_graph, mesh2x2).node_of("a")
+
+
+class TestSwaps:
+    def test_swap_two_cores(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        mapping.swap_nodes(0, 1)
+        assert mapping.node_of("a") == 1
+        assert mapping.node_of("b") == 0
+
+    def test_swap_with_empty_node(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        mapping.swap_nodes(0, 3)
+        assert mapping.node_of("a") == 3
+        assert mapping.core_at(0) is None
+
+    def test_swap_two_empty_nodes(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        mapping.swap_nodes(1, 2)  # no-op, must not corrupt anything
+        assert mapping.node_of("a") == 0
+
+    def test_swapped_leaves_original(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        clone = mapping.swapped(0, 1)
+        assert mapping.node_of("a") == 0
+        assert clone.node_of("a") == 1
+
+    def test_swap_invalid_node(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2)
+        with pytest.raises(MappingError):
+            mapping.swap_nodes(0, 7)
+
+
+class TestQueriesAndConversion:
+    def test_completeness(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        assert not mapping.is_complete
+        mapping.assign("c", 2)
+        assert mapping.is_complete
+        mapping.validate()  # must not raise
+
+    def test_validate_incomplete(self, tiny_graph, mesh2x2):
+        with pytest.raises(MappingError, match="not mapped"):
+            Mapping(tiny_graph, mesh2x2, {"a": 0}).validate()
+
+    def test_free_nodes_sorted(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 2})
+        assert mapping.free_nodes() == [0, 1, 3]
+        assert mapping.used_nodes() == {2}
+
+    def test_placement_copy(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        placement = mapping.placement
+        placement["a"] = 3
+        assert mapping.node_of("a") == 0
+
+    def test_node_contents(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 1})
+        assert mapping.node_contents == {0: None, 1: "a", 2: None, 3: None}
+
+    def test_from_node_list(self, tiny_graph, mesh2x2):
+        mapping = Mapping.from_node_list(tiny_graph, mesh2x2, ["b", None, "a", "c"])
+        assert mapping.node_of("b") == 0
+        assert mapping.node_of("a") == 2
+
+    def test_equality(self, tiny_graph, mesh2x2):
+        m1 = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        m2 = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1})
+        m3 = Mapping(tiny_graph, mesh2x2, {"a": 1, "b": 0})
+        assert m1 == m2
+        assert m1 != m3
+
+    def test_render_grid(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 3})
+        grid = mapping.render()
+        assert grid.count("\n") == 1  # two rows
+        assert "a" in grid and "b" in grid and "." in grid
+
+    def test_copy_independent(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0})
+        clone = mapping.copy()
+        clone.assign("b", 1)
+        assert not mapping.is_mapped("b")
+
+
+class TestMappingResult:
+    def test_repr_finite(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2, {"a": 0, "b": 1, "c": 2})
+        result = MappingResult(mapping, 123.0, True, "nmap")
+        assert "123" in repr(result)
+
+    def test_repr_infinite(self, tiny_graph, mesh2x2):
+        mapping = Mapping(tiny_graph, mesh2x2)
+        result = MappingResult(mapping, float("inf"), False, "nmap")
+        assert "inf" in repr(result)

@@ -1,0 +1,92 @@
+"""Unit tests for the PMAP, GMAP and random baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.gmap import gmap
+from repro.mapping.pmap import pmap
+from repro.mapping.random_map import random_mapping
+
+
+class TestGmap:
+    def test_complete(self, square_graph, mesh2x2):
+        result = gmap(square_graph, mesh2x2)
+        assert result.mapping.is_complete
+        assert result.algorithm == "gmap"
+
+    def test_heaviest_core_placed_first_near_center(self, mesh3x3):
+        graph = CoreGraph()
+        graph.add_traffic("hub", "a", 500.0)
+        graph.add_traffic("hub", "b", 500.0)
+        graph.add_traffic("a", "b", 1.0)
+        result = gmap(graph, mesh3x3)
+        assert result.mapping.node_of("hub") == 4  # center
+
+    def test_empty_rejected(self, mesh2x2):
+        with pytest.raises(MappingError):
+            gmap(CoreGraph(), mesh2x2)
+
+    def test_deterministic(self, square_graph, mesh3x3):
+        assert gmap(square_graph, mesh3x3).mapping == gmap(square_graph, mesh3x3).mapping
+
+    def test_infeasible_cost_inf(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 9000.0)
+        result = gmap(graph, NoCTopology.mesh(2, 2, link_bandwidth=100.0))
+        assert result.comm_cost == float("inf")
+        assert not result.feasible
+
+
+class TestPmap:
+    def test_complete(self, square_graph, mesh2x2):
+        result = pmap(square_graph, mesh2x2)
+        assert result.mapping.is_complete
+        assert result.algorithm == "pmap"
+
+    def test_seed_in_corner(self, square_graph, mesh3x3):
+        result = pmap(square_graph, mesh3x3)
+        # PMAP's characteristic corner seed (node 0)
+        heaviest = max(square_graph.cores, key=square_graph.core_traffic)
+        assert result.mapping.node_of(heaviest) == 0
+
+    def test_region_is_contiguous(self, mesh4x4):
+        graph = CoreGraph()
+        for i in range(5):
+            graph.add_traffic(f"c{i}", f"c{i+1}", 100.0 - i)
+        result = pmap(graph, mesh4x4)
+        used = sorted(result.mapping.used_nodes())
+        # each used node (after the first) touches another used node
+        for node in used:
+            if node == used[0]:
+                continue
+            assert any(
+                other in mesh4x4.neighbors(node) for other in used if other != node
+            )
+
+    def test_empty_rejected(self, mesh2x2):
+        with pytest.raises(MappingError):
+            pmap(CoreGraph(), mesh2x2)
+
+    def test_deterministic(self, square_graph, mesh3x3):
+        assert pmap(square_graph, mesh3x3).mapping == pmap(square_graph, mesh3x3).mapping
+
+
+class TestRandomMapping:
+    def test_complete_and_valid(self, square_graph, mesh3x3):
+        result = random_mapping(square_graph, mesh3x3, seed=42)
+        assert result.mapping.is_complete
+
+    def test_seed_determinism(self, square_graph, mesh3x3):
+        a = random_mapping(square_graph, mesh3x3, seed=5)
+        b = random_mapping(square_graph, mesh3x3, seed=5)
+        c = random_mapping(square_graph, mesh3x3, seed=6)
+        assert a.mapping == b.mapping
+        assert a.mapping != c.mapping or a.comm_cost == c.comm_cost
+
+    def test_empty_rejected(self, mesh2x2):
+        with pytest.raises(MappingError):
+            random_mapping(CoreGraph(), mesh2x2)

@@ -1,0 +1,66 @@
+"""Unit tests for the initialize() constructive seed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs.core_graph import CoreGraph
+from repro.mapping.initializer import initial_mapping
+
+
+class TestInitialMapping:
+    def test_complete(self, square_graph, mesh2x2):
+        mapping = initial_mapping(square_graph, mesh2x2)
+        assert mapping.is_complete
+
+    def test_seed_core_on_max_degree_node(self, tiny_graph, mesh3x3):
+        # core "b" has max traffic (150); mesh center (node 4) has max degree
+        mapping = initial_mapping(tiny_graph, mesh3x3)
+        assert mapping.node_of("b") == 4
+
+    def test_heavy_pair_adjacent(self, mesh3x3):
+        graph = CoreGraph()
+        graph.add_traffic("hot1", "hot2", 1000.0)
+        graph.add_traffic("hot1", "cold", 1.0)
+        mapping = initial_mapping(graph, mesh3x3)
+        assert mesh3x3.distance(mapping.node_of("hot1"), mapping.node_of("hot2")) == 1
+
+    def test_deterministic(self, square_graph, mesh3x3):
+        a = initial_mapping(square_graph, mesh3x3)
+        b = initial_mapping(square_graph, mesh3x3)
+        assert a == b
+
+    def test_empty_graph_rejected(self, mesh2x2):
+        with pytest.raises(MappingError, match="empty"):
+            initial_mapping(CoreGraph(), mesh2x2)
+
+    def test_single_core(self, mesh3x3):
+        graph = CoreGraph()
+        graph.add_core("solo")
+        mapping = initial_mapping(graph, mesh3x3)
+        assert mapping.is_complete
+        assert mapping.node_of("solo") == 4  # center seed
+
+    def test_disconnected_components_all_mapped(self, mesh3x3):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 100.0)
+        graph.add_traffic("x", "y", 50.0)  # no link to a/b
+        mapping = initial_mapping(graph, mesh3x3)
+        assert mapping.is_complete
+
+    def test_fills_exact_mesh(self, mesh2x2, square_graph):
+        mapping = initial_mapping(square_graph, mesh2x2)
+        assert mapping.free_nodes() == []
+
+    def test_chain_stays_compact(self, mesh4x4):
+        graph = CoreGraph()
+        for i in range(6):
+            graph.add_traffic(f"c{i}", f"c{i+1}", 100.0)
+        mapping = initial_mapping(graph, mesh4x4)
+        # every consecutive pair should land on adjacent nodes
+        for i in range(6):
+            dist = mesh4x4.distance(
+                mapping.node_of(f"c{i}"), mapping.node_of(f"c{i+1}")
+            )
+            assert dist == 1

@@ -1,0 +1,123 @@
+"""Unit tests for NMAP with single minimum-path routing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.nmap import evaluate_single_path, nmap_single_path
+from repro.metrics.comm_cost import comm_cost, swap_cost_delta
+
+
+class TestEvaluate:
+    def test_cost_matches_equation7(self, square_graph, mesh2x2):
+        from repro.mapping.base import Mapping
+
+        mapping = Mapping(square_graph, mesh2x2, {"a": 0, "b": 1, "c": 3, "d": 2})
+        cost, routing, feasible = evaluate_single_path(mapping)
+        assert feasible
+        assert cost == comm_cost(mapping)
+
+    def test_infeasible_returns_maxvalue(self, square_graph):
+        from repro.mapping.base import Mapping
+
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=10.0)
+        mapping = Mapping(square_graph, mesh, {"a": 0, "b": 1, "c": 3, "d": 2})
+        cost, _routing, feasible = evaluate_single_path(mapping)
+        assert not feasible
+        assert cost == float("inf")
+
+
+class TestNmap:
+    def test_complete_and_feasible(self, square_graph, mesh2x2):
+        result = nmap_single_path(square_graph, mesh2x2)
+        assert result.mapping.is_complete
+        assert result.feasible
+        assert result.algorithm == "nmap"
+
+    def test_optimal_on_cycle(self, square_graph, mesh2x2):
+        # a-b-c-d cycle on a 2x2 mesh: optimum places the cycle around the
+        # square, every edge at distance 1 -> cost = sum of bandwidths.
+        result = nmap_single_path(square_graph, mesh2x2)
+        assert result.comm_cost == square_graph.total_bandwidth()
+
+    def test_improves_or_matches_seed(self, mesh4x4):
+        from repro.apps import vopd
+        from repro.mapping.initializer import initial_mapping
+
+        app = vopd()
+        mesh = mesh4x4.with_uniform_bandwidth(10000.0)
+        seed_cost = comm_cost(initial_mapping(app, mesh))
+        result = nmap_single_path(app, mesh)
+        assert result.comm_cost <= seed_cost
+
+    def test_local_optimum_no_improving_swap(self, mesh3x3):
+        from repro.apps import pip
+
+        app = pip()
+        mesh = mesh3x3.with_uniform_bandwidth(10000.0)
+        result = nmap_single_path(app, mesh)
+        mapping = result.mapping
+        for a, b in itertools.combinations(range(mesh.num_nodes), 2):
+            assert swap_cost_delta(mapping, a, b) >= -1e-9
+
+    def test_single_pass_mode(self, mesh3x3):
+        from repro.apps import pip
+
+        app = pip()
+        mesh = mesh3x3.with_uniform_bandwidth(10000.0)
+        one_pass = nmap_single_path(app, mesh, max_passes=1)
+        full = nmap_single_path(app, mesh)
+        assert one_pass.stats["passes"] == 1
+        assert full.comm_cost <= one_pass.comm_cost
+
+    def test_no_improve_keeps_seed(self, square_graph, mesh2x2):
+        from repro.mapping.initializer import initial_mapping
+
+        seed = initial_mapping(square_graph, mesh2x2)
+        result = nmap_single_path(square_graph, mesh2x2, improve=False)
+        assert result.mapping == seed
+
+    def test_respects_bandwidth_constraints(self):
+        # two heavy flows out of one core; tight capacity forces a feasible
+        # arrangement (heavy edges on distinct links)
+        graph = CoreGraph()
+        graph.add_traffic("hub", "x", 900.0)
+        graph.add_traffic("hub", "y", 900.0)
+        graph.add_traffic("x", "y", 100.0)
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=1000.0)
+        result = nmap_single_path(graph, mesh)
+        assert result.feasible
+        assert result.routing.is_feasible()
+
+    def test_infeasible_reports_inf(self):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 5000.0)
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=1000.0)
+        result = nmap_single_path(graph, mesh)
+        assert not result.feasible
+        assert result.comm_cost == float("inf")
+
+    def test_trivially_feasible_skips_routing(self, square_graph):
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=1e9)
+        result = nmap_single_path(square_graph, mesh)
+        assert result.stats["routings_run"] == 0
+        assert result.routing is not None  # final routing still reported
+
+    def test_more_nodes_than_cores(self, tiny_graph, mesh3x3):
+        result = nmap_single_path(tiny_graph, mesh3x3)
+        assert result.mapping.is_complete
+        assert len(result.mapping.free_nodes()) == 6
+
+    def test_deterministic(self, mesh4x4):
+        from repro.apps import mwa
+
+        app = mwa()
+        mesh = mesh4x4.with_uniform_bandwidth(10000.0)
+        r1 = nmap_single_path(app, mesh)
+        r2 = nmap_single_path(app, mesh)
+        assert r1.mapping == r2.mapping
+        assert r1.comm_cost == r2.comm_cost

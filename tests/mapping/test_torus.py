@@ -1,0 +1,86 @@
+"""Mapping and routing on torus topologies (the paper's 'mesh/torus' scope)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.commodities import build_commodities
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping import gmap, nmap_single_path, pbb, pmap
+from repro.metrics.comm_cost import comm_cost
+from repro.routing.dimension_ordered import xy_routing
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+
+
+@pytest.fixture
+def torus4x4():
+    return NoCTopology.torus_grid(4, 4, link_bandwidth=1e5)
+
+
+class TestTorusMapping:
+    def test_nmap_runs_on_torus(self, torus4x4):
+        from repro.apps import vopd
+
+        result = nmap_single_path(vopd(), torus4x4)
+        assert result.mapping.is_complete
+        assert result.feasible
+
+    def test_torus_cost_at_most_mesh_cost(self, torus4x4):
+        """Wrap links can only shorten distances, never lengthen them."""
+        from repro.apps import vopd
+
+        app = vopd()
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1e5)
+        mesh_cost = nmap_single_path(app, mesh).comm_cost
+        torus_cost = nmap_single_path(app, torus4x4).comm_cost
+        assert torus_cost <= mesh_cost
+
+    @pytest.mark.parametrize("algorithm", [gmap, pmap])
+    def test_baselines_run_on_torus(self, torus4x4, algorithm):
+        from repro.apps import pip
+
+        result = algorithm(pip(), torus4x4)
+        assert result.mapping.is_complete
+
+    def test_pbb_runs_on_torus(self, torus4x4):
+        from repro.apps import pip
+
+        result = pbb(pip(), torus4x4, max_queue=200)
+        assert result.mapping.is_complete
+
+
+class TestTorusRouting:
+    def test_min_path_uses_wrap_links(self, torus4x4):
+        from repro.graphs.commodities import Commodity
+
+        commodities = [Commodity(0, "a", "b", 0, 3, 10.0)]  # 1 wrap hop
+        routing = min_path_routing(torus4x4, commodities)
+        assert routing.paths[0] == [0, 3]
+
+    def test_xy_wrap(self, torus4x4):
+        from repro.graphs.commodities import Commodity
+
+        commodities = [Commodity(0, "a", "b", 0, 15, 10.0)]
+        routing = xy_routing(torus4x4, commodities)
+        # (0,0) -> (3,3) on a 4x4 torus: 2 hops via both wraps
+        assert len(routing.paths[0]) - 1 == 2
+
+    def test_split_lp_on_torus(self, torus4x4):
+        from repro.graphs.commodities import Commodity
+
+        commodities = [Commodity(0, "a", "b", 0, 1, 1000.0)]
+        lam, routing = solve_min_congestion(torus4x4, commodities)
+        # node 0 has 4 out-links on a torus: lambda >= 250
+        assert lam >= 250.0 - 1e-6
+        assert lam <= 500.0 + 1e-6  # and splitting beats single-path's 1000
+
+    def test_consistency_cost_vs_routing(self, torus4x4):
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 100.0)
+        graph.add_traffic("b", "c", 50.0)
+        result = nmap_single_path(graph, torus4x4)
+        commodities = build_commodities(graph, result.mapping)
+        routing = min_path_routing(torus4x4, commodities)
+        assert routing.total_flow() == pytest.approx(comm_cost(result.mapping))

@@ -1,0 +1,46 @@
+"""Unit tests for the Hu-Marculescu bit-energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mapping.base import Mapping
+from repro.metrics.energy import BitEnergyModel, communication_energy
+
+
+class TestBitEnergyModel:
+    def test_path_energy(self):
+        model = BitEnergyModel(link_pj_per_bit=1.0, router_pj_per_bit=2.0)
+        assert model.path_energy_pj(0) == 2.0  # one router, no link
+        assert model.path_energy_pj(2) == 2.0 + 6.0
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ReproError):
+            BitEnergyModel().path_energy_pj(-1)
+
+
+class TestCommunicationEnergy:
+    def test_scales_with_distance(self, tiny_graph, mesh3x3):
+        near = Mapping(tiny_graph, mesh3x3, {"a": 0, "b": 1, "c": 2})
+        far = Mapping(tiny_graph, mesh3x3, {"a": 0, "b": 8, "c": 2})
+        assert communication_energy(far) > communication_energy(near)
+
+    def test_hand_computed(self, mesh3x3):
+        from repro.graphs.core_graph import CoreGraph
+
+        graph = CoreGraph()
+        graph.add_traffic("a", "b", 1.0)  # 1 MB/s = 8e6 bit/s
+        mapping = Mapping(graph, mesh3x3, {"a": 0, "b": 1})
+        model = BitEnergyModel(link_pj_per_bit=1.0, router_pj_per_bit=1.0)
+        # 8e6 bit/s * (1*1 + 2*1) pJ = 24e6 pJ/s = 0.024 mW
+        assert communication_energy(mapping, model) == pytest.approx(0.024)
+
+    def test_energy_follows_cost_with_uniform_params(self, square_graph, mesh3x3):
+        from repro.metrics.comm_cost import comm_cost
+
+        m1 = Mapping(square_graph, mesh3x3, {"a": 0, "b": 1, "c": 4, "d": 3})
+        m2 = Mapping(square_graph, mesh3x3, {"a": 0, "b": 8, "c": 4, "d": 2})
+        assert (comm_cost(m1) < comm_cost(m2)) == (
+            communication_energy(m1) < communication_energy(m2)
+        )

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the structural guarantees the algorithms lean on: distances
+are a metric, quadrant paths are minimal, routing conserves flow, swap
+deltas are exact, min-congestion respects cut lower bounds, and the MCF LPs
+never beat physically impossible values.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.commodities import Commodity, build_commodities
+from repro.graphs.quadrant import count_minimal_paths, quadrant_links
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping
+from repro.metrics.comm_cost import comm_cost, swap_cost_delta
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+
+# Strategies ------------------------------------------------------------
+mesh_dims = st.tuples(st.integers(2, 5), st.integers(2, 5))
+
+
+@st.composite
+def mesh_and_two_nodes(draw):
+    width, height = draw(mesh_dims)
+    mesh = NoCTopology.mesh(width, height)
+    src = draw(st.integers(0, mesh.num_nodes - 1))
+    dst = draw(st.integers(0, mesh.num_nodes - 1).filter(lambda n: n != src))
+    return mesh, src, dst
+
+
+@st.composite
+def mapped_random_graph(draw):
+    num_cores = draw(st.integers(2, 9))
+    seed = draw(st.integers(0, 10_000))
+    graph = random_core_graph(num_cores, seed=seed)
+    mesh = NoCTopology.smallest_mesh_for(num_cores, link_bandwidth=1e9)
+    nodes = list(mesh.nodes)
+    chosen = draw(
+        st.permutations(nodes).map(lambda order: order[:num_cores])
+    )
+    mapping = Mapping(graph, mesh, dict(zip(graph.cores, chosen)))
+    return mapping
+
+
+# Distance metric --------------------------------------------------------
+@given(mesh_and_two_nodes())
+@settings(max_examples=60, deadline=None)
+def test_distance_symmetric_and_positive(data):
+    mesh, src, dst = data
+    assert mesh.distance(src, dst) == mesh.distance(dst, src)
+    assert mesh.distance(src, dst) >= 1
+    assert mesh.distance(src, src) == 0
+
+
+@given(mesh_dims, st.data())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality(dims, data):
+    mesh = NoCTopology.mesh(*dims)
+    pick = st.integers(0, mesh.num_nodes - 1)
+    a, b, c = data.draw(pick), data.draw(pick), data.draw(pick)
+    assert mesh.distance(a, c) <= mesh.distance(a, b) + mesh.distance(b, c)
+
+
+# Quadrants ---------------------------------------------------------------
+@given(mesh_and_two_nodes())
+@settings(max_examples=60, deadline=None)
+def test_monotone_quadrant_links_decrease_distance(data):
+    mesh, src, dst = data
+    for u, v in quadrant_links(mesh, src, dst, monotone=True):
+        assert mesh.distance(v, dst) == mesh.distance(u, dst) - 1
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=60, deadline=None)
+def test_minimal_path_count_is_binomial(data):
+    import math
+
+    mesh, src, dst = data
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    across, down = abs(sx - dx), abs(sy - dy)
+    assert count_minimal_paths(mesh, src, dst) == math.comb(across + down, across)
+
+
+# Routing ------------------------------------------------------------------
+@given(mapped_random_graph())
+@settings(max_examples=25, deadline=None)
+def test_min_path_routing_paths_are_minimal_and_loads_consistent(mapping):
+    commodities = build_commodities(mapping.core_graph, mapping)
+    if not commodities:
+        return
+    routing = min_path_routing(mapping.topology, commodities)
+    for commodity in commodities:
+        path = routing.paths[commodity.index]
+        assert len(path) - 1 == mapping.topology.distance(
+            commodity.src_node, commodity.dst_node
+        )
+    assert routing.total_flow() >= routing.max_link_load()
+    # total flow equals Equation 7's cost for minimal-path routing
+    assert abs(routing.total_flow() - comm_cost(mapping)) < 1e-6
+
+
+@given(mapped_random_graph())
+@settings(max_examples=15, deadline=None)
+def test_min_congestion_at_most_single_path(mapping):
+    commodities = build_commodities(mapping.core_graph, mapping)
+    if not commodities:
+        return
+    single = min_path_routing(mapping.topology, commodities)
+    lam, _ = solve_min_congestion(mapping.topology, commodities)
+    assert lam <= single.max_link_load() + 1e-6
+
+
+@given(mapped_random_graph())
+@settings(max_examples=15, deadline=None)
+def test_min_congestion_respects_node_cut(mapping):
+    commodities = build_commodities(mapping.core_graph, mapping)
+    if not commodities:
+        return
+    lam, _ = solve_min_congestion(mapping.topology, commodities)
+    topology = mapping.topology
+    for node in topology.nodes:
+        out_deg = len(topology.neighbors(node))
+        sourced = sum(c.value for c in commodities if c.src_node == node)
+        sunk = sum(c.value for c in commodities if c.dst_node == node)
+        assert lam >= sourced / out_deg - 1e-6
+        assert lam >= sunk / out_deg - 1e-6
+
+
+# Swap delta ----------------------------------------------------------------
+@given(mapped_random_graph(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_swap_delta_matches_recompute(mapping, data):
+    nodes = list(mapping.topology.nodes)
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from([n for n in nodes if n != a]))
+    delta = swap_cost_delta(mapping, a, b)
+    assert abs(delta - (comm_cost(mapping.swapped(a, b)) - comm_cost(mapping))) < 1e-6
+
+
+@given(mapped_random_graph(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_swap_is_involution(mapping, data):
+    nodes = list(mapping.topology.nodes)
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    twice = mapping.swapped(a, b).swapped(a, b)
+    assert twice == mapping
+
+
+# Random graphs ---------------------------------------------------------------
+@given(st.integers(2, 40), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_random_graphs_connected_and_sized(num_cores, seed):
+    graph = random_core_graph(num_cores, seed=seed)
+    assert graph.num_cores == num_cores
+    assert graph.is_connected()
+    assert graph.num_flows >= num_cores - 1

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.routing.base` (results, decomposition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs.commodities import Commodity
+from repro.routing.base import RoutingResult, decompose_flows, path_links
+
+
+def _commodity(index, src, dst, value):
+    return Commodity(index, f"s{index}", f"d{index}", src, dst, value)
+
+
+class TestPathLinks:
+    def test_simple(self):
+        assert path_links([0, 1, 2]) == [(0, 1), (1, 2)]
+
+    def test_single_node(self):
+        assert path_links([5]) == []
+
+
+class TestFromPaths:
+    def test_loads_accumulate(self, mesh3x3):
+        commodities = [_commodity(0, 0, 2, 10.0), _commodity(1, 1, 2, 5.0)]
+        result = RoutingResult.from_paths(
+            mesh3x3, commodities, {0: [0, 1, 2], 1: [1, 2]}, "test"
+        )
+        assert result.load_of(1, 2) == 15.0
+        assert result.load_of(0, 1) == 10.0
+        assert result.max_link_load() == 15.0
+        assert result.total_flow() == 25.0
+
+    def test_endpoint_mismatch(self, mesh3x3):
+        with pytest.raises(RoutingError, match="does not join"):
+            RoutingResult.from_paths(
+                mesh3x3, [_commodity(0, 0, 2, 1.0)], {0: [0, 1]}, "test"
+            )
+
+    def test_missing_path(self, mesh3x3):
+        with pytest.raises(RoutingError, match="no path"):
+            RoutingResult.from_paths(mesh3x3, [_commodity(0, 0, 2, 1.0)], {}, "test")
+
+    def test_nonexistent_link(self, mesh3x3):
+        with pytest.raises(RoutingError, match="missing link"):
+            RoutingResult.from_paths(
+                mesh3x3, [_commodity(0, 0, 4, 1.0)], {0: [0, 4]}, "test"
+            )
+
+
+class TestFeasibility:
+    def test_feasible_under_capacity(self, mesh3x3):
+        result = RoutingResult.from_paths(
+            mesh3x3, [_commodity(0, 0, 1, 999.0)], {0: [0, 1]}, "test"
+        )
+        assert result.is_feasible()
+        assert result.violations() == {}
+
+    def test_infeasible_over_capacity(self, mesh3x3):
+        result = RoutingResult.from_paths(
+            mesh3x3, [_commodity(0, 0, 1, 1500.0)], {0: [0, 1]}, "test"
+        )
+        assert not result.is_feasible()
+        assert result.violations() == {(0, 1): pytest.approx(500.0)}
+
+    def test_tolerance(self, mesh3x3):
+        result = RoutingResult.from_paths(
+            mesh3x3, [_commodity(0, 0, 1, 1000.0000001)], {0: [0, 1]}, "test"
+        )
+        assert result.is_feasible(tolerance=1e-3)
+
+
+class TestDecomposition:
+    def test_single_path_flow(self, mesh3x3):
+        commodity = _commodity(0, 0, 2, 12.0)
+        flow = {(0, 1): 12.0, (1, 2): 12.0}
+        decomposed = decompose_flows(mesh3x3, commodity, flow)
+        assert decomposed == [([0, 1, 2], pytest.approx(1.0))]
+
+    def test_two_way_split(self, mesh3x3):
+        commodity = _commodity(0, 0, 4, 10.0)
+        flow = {(0, 1): 6.0, (1, 4): 6.0, (0, 3): 4.0, (3, 4): 4.0}
+        decomposed = decompose_flows(mesh3x3, commodity, flow)
+        fractions = {tuple(path): frac for path, frac in decomposed}
+        assert fractions[(0, 1, 4)] == pytest.approx(0.6)
+        assert fractions[(0, 3, 4)] == pytest.approx(0.4)
+
+    def test_fractions_sum_to_one(self, mesh3x3):
+        commodity = _commodity(0, 0, 8, 9.0)
+        flow = {
+            (0, 1): 3.0, (1, 2): 3.0, (2, 5): 3.0, (5, 8): 3.0,
+            (0, 3): 6.0, (3, 4): 6.0, (4, 5): 4.0, (4, 7): 2.0,
+            (7, 8): 2.0, (5, 8): 7.0,
+        }
+        decomposed = decompose_flows(mesh3x3, commodity, flow)
+        assert sum(frac for _p, frac in decomposed) == pytest.approx(1.0)
+        for path, _frac in decomposed:
+            assert path[0] == 0 and path[-1] == 8
+
+    def test_incomplete_flow_rejected(self, mesh3x3):
+        commodity = _commodity(0, 0, 2, 10.0)
+        flow = {(0, 1): 4.0, (1, 2): 4.0}  # ships only 4 of 10
+        with pytest.raises(RoutingError, match="shipped|dead-ends"):
+            decompose_flows(mesh3x3, commodity, flow)
+
+    def test_dead_end_flow_rejected(self, mesh3x3):
+        commodity = _commodity(0, 0, 2, 10.0)
+        flow = {(0, 1): 10.0}  # never reaches node 2
+        with pytest.raises(RoutingError, match="dead-ends|shipped"):
+            decompose_flows(mesh3x3, commodity, flow)

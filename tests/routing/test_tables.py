@@ -1,0 +1,85 @@
+"""Unit tests for routing-table synthesis and the §6 overhead claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.commodities import Commodity
+from repro.routing.base import RoutingResult
+from repro.routing.min_path import min_path_routing
+from repro.routing.split import solve_min_congestion
+from repro.routing.tables import (
+    buffer_bits,
+    build_routing_tables,
+    table_overhead_bits,
+    table_overhead_ratio,
+)
+
+
+def _commodity(index, src, dst, value):
+    return Commodity(index, f"s{index}", f"d{index}", src, dst, value)
+
+
+class TestDeterministicTables:
+    def test_entries_follow_path(self, mesh3x3):
+        commodities = [_commodity(0, 0, 2, 10.0)]
+        routing = RoutingResult.from_paths(mesh3x3, commodities, {0: [0, 1, 2]}, "t")
+        tables = build_routing_tables(routing)
+        assert tables[0].next_hops(0) == [(1, 1.0)]
+        assert tables[1].next_hops(0) == [(2, 1.0)]
+        assert tables[2].next_hops(0) == []
+
+    def test_deterministic_flag(self, mesh3x3):
+        commodities = [_commodity(0, 0, 8, 5.0)]
+        routing = min_path_routing(mesh3x3, commodities)
+        tables = build_routing_tables(routing)
+        assert all(t.is_deterministic() for t in tables.values())
+
+    def test_num_entries(self, mesh3x3):
+        commodities = [_commodity(0, 0, 2, 10.0)]
+        routing = RoutingResult.from_paths(mesh3x3, commodities, {0: [0, 1, 2]}, "t")
+        tables = build_routing_tables(routing)
+        assert sum(t.num_entries for t in tables.values()) == 2  # one per hop
+
+
+class TestSplitTables:
+    def test_weights_normalized(self, mesh3x3):
+        commodities = [_commodity(0, 0, 4, 800.0)]
+        _lam, routing = solve_min_congestion(mesh3x3, commodities, quadrant_only=True)
+        tables = build_routing_tables(routing)
+        hops = tables[0].next_hops(0)
+        assert len(hops) == 2  # split over both L-routes
+        assert sum(weight for _n, weight in hops) == pytest.approx(1.0)
+
+    def test_split_tables_not_deterministic(self, mesh3x3):
+        commodities = [_commodity(0, 0, 4, 800.0)]
+        _lam, routing = solve_min_congestion(mesh3x3, commodities, quadrant_only=True)
+        tables = build_routing_tables(routing)
+        assert not tables[0].is_deterministic()
+
+
+class TestOverhead:
+    def test_split_costs_more_bits(self, mesh3x3):
+        commodities = [_commodity(0, 0, 4, 800.0), _commodity(1, 2, 6, 500.0)]
+        single = min_path_routing(mesh3x3, commodities)
+        _lam, split = solve_min_congestion(mesh3x3, commodities, quadrant_only=True)
+        assert table_overhead_bits(split) >= table_overhead_bits(single)
+
+    def test_buffer_bits(self, mesh3x3):
+        # 9 nodes x 5 ports x 4 flits x 32 bits
+        assert buffer_bits(mesh3x3, buffer_depth_flits=4, flit_bits=32) == 5760
+
+    def test_paper_claim_under_ten_percent(self, mesh4x4):
+        """§6: table bits < 10% of buffer bits even with split routing."""
+        from repro.apps import vopd
+        from repro.graphs.commodities import build_commodities
+        from repro.mapping import nmap_single_path
+
+        app = vopd()
+        result = nmap_single_path(app, mesh4x4.with_uniform_bandwidth(10000.0))
+        commodities = build_commodities(app, result.mapping)
+        _lam, split = solve_min_congestion(
+            result.mapping.topology, commodities, quadrant_only=False
+        )
+        ratio = table_overhead_ratio(split, buffer_depth_flits=8, flit_bits=32)
+        assert ratio < 0.10

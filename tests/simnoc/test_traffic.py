@@ -1,0 +1,131 @@
+"""Unit tests for the bursty traffic sources."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnoc.config import SimConfig
+from repro.simnoc.traffic import BurstyTrafficSource
+
+
+def _source(rate=0.1, paths=None, burst=1.0, seed=1):
+    config = SimConfig(mean_burst_packets=burst)
+    return BurstyTrafficSource(
+        commodity_index=0,
+        src_node=0,
+        dst_node=3,
+        rate_flits_per_cycle=rate,
+        paths=paths or [([0, 1, 3], 1.0)],
+        config=config,
+        rng=random.Random(seed),
+    )
+
+
+def _drain(source, cycles):
+    counter = itertools.count(1)
+    packets = []
+    for cycle in range(cycles):
+        packets.extend(source.packets_for_cycle(cycle, lambda: next(counter)))
+    return packets
+
+
+class TestRate:
+    @pytest.mark.parametrize("rate", [0.05, 0.2, 0.5])
+    def test_long_run_rate_close_to_target(self, rate):
+        source = _source(rate=rate, burst=1.0)
+        packets = _drain(source, 200_000)
+        achieved = len(packets) * 16 / 200_000  # 16 flits per packet
+        assert achieved == pytest.approx(rate, rel=0.05)
+
+    def test_bursty_rate_also_matches(self):
+        source = _source(rate=0.25, burst=4.0, seed=3)
+        packets = _drain(source, 200_000)
+        achieved = len(packets) * 16 / 200_000
+        assert achieved == pytest.approx(0.25, rel=0.08)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(SimulationError, match="oversubscribes"):
+            _source(rate=1.5)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            _source(rate=0.0)
+
+
+class TestBursts:
+    def test_burst_packets_back_to_back(self):
+        source = _source(rate=0.2, burst=8.0, seed=2)
+        counter = itertools.count(1)
+        times = []
+        for cycle in range(50_000):
+            for _packet in source.packets_for_cycle(cycle, lambda: next(counter)):
+                times.append(cycle)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # within a burst, packets are exactly one serialization time apart
+        assert min(gaps) == 16
+        # bursts are separated by much longer gaps
+        assert max(gaps) > 16
+
+    def test_poisson_mode_no_back_to_back_requirement(self):
+        source = _source(rate=0.1, burst=1.0)
+        packets = _drain(source, 10_000)
+        assert packets  # emits something
+
+
+class TestPaths:
+    def test_single_path_always_used(self):
+        source = _source()
+        packets = _drain(source, 20_000)
+        assert all(p.path == [0, 1, 3] for p in packets)
+
+    def test_split_paths_frequencies(self):
+        source = _source(
+            rate=0.5,
+            paths=[([0, 1, 3], 0.75), ([0, 2, 3], 0.25)],
+            seed=7,
+        )
+        packets = _drain(source, 100_000)
+        via_1 = sum(1 for p in packets if p.path == [0, 1, 3])
+        assert via_1 / len(packets) == pytest.approx(0.75, abs=0.05)
+
+    def test_weights_renormalized(self):
+        source = _source(paths=[([0, 1, 3], 2.0), ([0, 2, 3], 2.0)])
+        assert sum(w for _p, w in source.paths) == pytest.approx(1.0)
+
+    def test_bad_path_endpoints_rejected(self):
+        with pytest.raises(SimulationError, match="does not join"):
+            _source(paths=[([0, 1], 1.0)])
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(SimulationError, match="no paths"):
+            BurstyTrafficSource(
+                commodity_index=0,
+                src_node=0,
+                dst_node=3,
+                rate_flits_per_cycle=0.1,
+                paths=[],
+                config=SimConfig(),
+                rng=random.Random(1),
+            )
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(SimulationError, match="sum to 0"):
+            _source(paths=[([0, 1, 3], 0.0)])
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = _drain(_source(seed=5, burst=4.0), 30_000)
+        b = _drain(_source(seed=5, burst=4.0), 30_000)
+        assert [(p.created_cycle, tuple(p.path)) for p in a] == [
+            (p.created_cycle, tuple(p.path)) for p in b
+        ]
+
+    def test_different_seed_differs(self):
+        a = _drain(_source(seed=5, burst=4.0), 30_000)
+        b = _drain(_source(seed=6, burst=4.0), 30_000)
+        assert [p.created_cycle for p in a] != [p.created_cycle for p in b]

@@ -1,0 +1,109 @@
+"""CLI tests (argument handling and end-to-end subcommands)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListApps:
+    def test_lists_all(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vopd", "mpeg4", "dsp", "pip"):
+            assert name in out
+
+
+class TestMap:
+    def test_map_builtin_app(self, capsys):
+        assert main(["map", "--app", "dsp"]) == 0
+        out = capsys.readouterr().out
+        assert "comm cost" in out
+        assert "filter" in out
+
+    def test_map_explicit_mesh(self, capsys):
+        assert main(["map", "--app", "pip", "--mesh", "4x2"]) == 0
+        assert "4x2" in capsys.readouterr().out
+
+    def test_map_bad_mesh(self, capsys):
+        assert main(["map", "--app", "pip", "--mesh", "banana"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_map_unknown_app(self, capsys):
+        assert main(["map", "--app", "nonexistent"]) == 2
+
+    def test_map_writes_json_and_dot(self, tmp_path, capsys):
+        out_json = tmp_path / "mapping.json"
+        out_dot = tmp_path / "mapping.dot"
+        code = main(
+            [
+                "map", "--app", "dsp",
+                "--out-json", str(out_json),
+                "--out-dot", str(out_dot),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["app"] == "dsp"
+        assert len(payload["placement"]) == 6
+        assert "digraph" in out_dot.read_text()
+
+    def test_map_from_json_file(self, tmp_path, capsys, tiny_graph):
+        from repro.graphs.io import save_core_graph
+
+        path = tmp_path / "custom.json"
+        save_core_graph(tiny_graph, path)
+        assert main(["map", "--app", str(path)]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["pmap", "gmap", "pbb", "nmap-ta"])
+    def test_algorithms(self, algorithm, capsys):
+        assert main(["map", "--app", "pip", "--algorithm", algorithm]) == 0
+
+
+class TestSimulate:
+    def test_simulate_dsp(self, capsys):
+        assert main(["simulate", "--app", "dsp", "--cycles", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "latency mean" in out
+        assert "hottest link" in out
+
+
+class TestDesign:
+    def test_design_prints_netlist(self, capsys):
+        assert main(["design", "--app", "dsp"]) == 0
+        out = capsys.readouterr().out
+        assert "SC_MODULE" in out
+        assert "total_area_mm2" in out
+
+    def test_design_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "noc.cpp"
+        assert main(["design", "--app", "dsp", "--out", str(out)]) == 0
+        assert "xpipes_switch" in out.read_text()
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(["compare", "--app", "pip", "--algorithms", "gmap", "nmap"]) == 0
+        out = capsys.readouterr().out
+        assert "gmap" in out and "nmap" in out
+        assert "minBW(split)" in out
+
+    def test_compare_includes_annealing(self, capsys):
+        assert main(
+            ["compare", "--app", "dsp", "--algorithms", "annealing"]
+        ) == 0
+        assert "annealing" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "minp BW" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
