@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Machine-readable perf tracking: fast paths vs the scalar seed baselines.
+
+Runs each hot kernel twice — once on the numpy fast path, once on the scalar
+reference implementations (the seed's code, kept verbatim behind
+``repro.fastpath``) — and writes ``BENCH_perf.json`` mapping kernel name to
+median seconds and speedup.  Committing the JSON after each PR records the
+perf trajectory across the repository's history; CI runs ``--smoke`` to
+catch order-of-magnitude regressions without burning minutes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output BENCH_perf.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke   # CI-sized
+
+The pytest-benchmark suites under ``benchmarks/bench_*.py`` remain the
+paper-shape checks; this runner exists to be diffable and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import statistics
+import time
+from pathlib import Path
+
+from repro import fastpath
+from repro.apps import vopd
+from repro.graphs.commodities import build_commodities
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping import nmap_single_path
+from repro.mapping.base import Mapping
+from repro.metrics.comm_cost import (
+    comm_cost,
+    swap_cost_delta,
+    swap_cost_deltas,
+)
+from repro.routing.min_path import min_path_routing
+from repro.simnoc.config import SimConfig
+from repro.simnoc.network import build_network
+from repro.simnoc.simulator import Simulator
+
+
+def _median_seconds(fn, rounds: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``rounds`` runs.
+
+    One untimed warmup run first, so lazily built caches (distance matrix,
+    flow arrays) are paid once — the steady state is what the mapping loops
+    actually see.
+    """
+    fn()
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _random_mappings(app, mesh, count: int, seed: int) -> list[Mapping]:
+    rng = random.Random(seed)
+    mappings = []
+    for _ in range(count):
+        nodes = list(mesh.nodes)
+        rng.shuffle(nodes)
+        mappings.append(Mapping(app, mesh, dict(zip(app.cores, nodes))))
+    return mappings
+
+
+def bench_comm_cost_vopd(smoke: bool):
+    """Equation-7 cost of many mappings — NMAP/annealer's innermost price."""
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16)
+    mappings = _random_mappings(app, mesh, 20 if smoke else 100, seed=42)
+
+    def kernel():
+        total = 0.0
+        for mapping in mappings:
+            total += comm_cost(mapping)
+        return total
+
+    return kernel, {"calls_per_round": len(mappings)}
+
+
+def bench_swap_deltas_65(smoke: bool):
+    """All-pairs swap screening on the 65-core Table 2 workload."""
+    app = random_core_graph(35 if smoke else 65, seed=2069)
+    mesh = NoCTopology.smallest_mesh_for(app.num_cores)
+    mapping = _random_mappings(app, mesh, 1, seed=1)[0]
+    nodes = list(mesh.nodes)
+
+    def kernel():
+        total = 0.0
+        if fastpath.fast_paths_enabled():
+            for i, node in enumerate(nodes):
+                total += float(swap_cost_deltas(mapping, node, nodes[i + 1 :]).sum())
+        else:
+            for i, node_a in enumerate(nodes):
+                for node_b in nodes[i + 1 :]:
+                    total += swap_cost_delta(mapping, node_a, node_b)
+        return total
+
+    return kernel, {"pairs_per_round": len(nodes) * (len(nodes) - 1) // 2}
+
+
+def bench_nmap_vopd(smoke: bool):
+    """The full NMAP single-path run on VOPD (the paper's Figure 3 input)."""
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    return (lambda: nmap_single_path(app, mesh)), {}
+
+
+def bench_nmap_65_cores(smoke: bool):
+    """NMAP on the 65-core random graph — the 'few seconds' headline claim."""
+    app = random_core_graph(35 if smoke else 65, seed=2069)
+    mesh = NoCTopology.smallest_mesh_for(
+        app.num_cores, link_bandwidth=app.total_bandwidth()
+    )
+    return (lambda: nmap_single_path(app, mesh)), {}
+
+
+def bench_min_path_routing_vopd(smoke: bool):
+    """Load-balanced minimum-path pricing of one VOPD mapping."""
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    mapping = nmap_single_path(app, mesh).mapping
+    commodities = build_commodities(app, mapping)
+    repeats = 5 if smoke else 20
+
+    def kernel():
+        for _ in range(repeats):
+            min_path_routing(mesh, commodities)
+
+    return kernel, {"calls_per_round": repeats}
+
+
+def bench_simulate_vopd_low_load(smoke: bool):
+    """Wormhole simulation at 5% load — where idle-skipping dominates."""
+    app = vopd()
+    mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+    mapping = nmap_single_path(app, mesh).mapping
+    commodities = build_commodities(app, mapping)
+    routing = min_path_routing(mesh, commodities)
+    config = SimConfig(
+        warmup_cycles=500,
+        measure_cycles=2_000 if smoke else 20_000,
+        drain_cycles=500,
+        seed=3,
+    )
+
+    def kernel():
+        network = build_network(
+            mesh, commodities, routing, config, bandwidth_scale=0.05
+        )
+        return Simulator(network).run()
+
+    return kernel, {"cycles_per_round": config.total_cycles}
+
+
+KERNELS = {
+    "comm_cost_vopd": bench_comm_cost_vopd,
+    "swap_deltas_65_cores": bench_swap_deltas_65,
+    "nmap_vopd": bench_nmap_vopd,
+    "nmap_65_cores": bench_nmap_65_cores,
+    "min_path_routing_vopd": bench_min_path_routing_vopd,
+    "simulate_vopd_low_load": bench_simulate_vopd_low_load,
+}
+
+
+def run_benches(smoke: bool, rounds: int) -> dict:
+    results: dict[str, dict] = {}
+    for name, factory in KERNELS.items():
+        kernel, extra = factory(smoke)
+        with fastpath.fast_paths():
+            fast = _median_seconds(kernel, rounds)
+        with fastpath.scalar_reference():
+            baseline = _median_seconds(kernel, rounds)
+        results[name] = {
+            "fast_median_s": fast,
+            "seed_baseline_median_s": baseline,
+            "speedup": baseline / fast if fast > 0 else float("inf"),
+            "rounds": rounds,
+            **extra,
+        }
+        print(
+            f"{name:28s} fast {fast * 1e3:9.3f} ms   seed {baseline * 1e3:9.3f} ms"
+            f"   speedup {baseline / fast:6.2f}x"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workloads (seconds, not minutes)",
+    )
+    parser.add_argument("--rounds", type=int, default=None, help="timing rounds")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if any kernel's speedup falls below this",
+    )
+    args = parser.parse_args()
+    rounds = args.rounds if args.rounds is not None else (3 if args.smoke else 5)
+
+    results = run_benches(args.smoke, rounds)
+    report = {
+        "meta": {
+            "mode": "smoke" if args.smoke else "full",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernels": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in results.items()
+            if entry["speedup"] < args.min_speedup
+        }
+        if slow:
+            raise SystemExit(
+                f"kernels below --min-speedup {args.min_speedup}: {slow}"
+            )
+
+
+if __name__ == "__main__":
+    main()

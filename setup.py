@@ -1,8 +1,22 @@
-"""Setuptools shim; all metadata lives in pyproject.toml.
+"""Setuptools entry point (no pyproject.toml; environments here predate
+PEP 660 editable wheels, so ``python setup.py develop`` must keep working).
 
-Kept so `python setup.py develop` works on environments whose setuptools
-predates PEP 660 editable wheels (no `wheel` package available offline).
+Runtime dependencies are declared here.  numpy backs every fast-path kernel
+(distance-matrix gathers, batch swap scoring — see PERFORMANCE.md); the
+floor is the oldest line whose fancy-indexing and ``bincount`` semantics the
+kernels were validated against.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-nmap",
+    version="0.1.0",
+    description="Reproduction of NMAP bandwidth-constrained NoC mapping (DATE'04)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "networkx>=2.6",
+    ],
+)

@@ -1,0 +1,60 @@
+"""Global switch between the array-backed fast paths and scalar references.
+
+Every performance-critical kernel in this repository exists twice: the
+original scalar implementation (kept verbatim as the *reference oracle*) and
+a numpy-backed fast path that produces identical results.  The property
+tests under ``tests/properties`` assert the equivalence; the benches under
+``benchmarks/run_bench.py`` time one against the other.
+
+The switch is process-global because the fast paths are spread across
+layers (metrics, mapping, routing, simnoc) and threading a flag through
+every call site would pollute the paper-facing APIs.  Set the environment
+variable ``REPRO_SCALAR_REFERENCE=1`` to start with fast paths disabled, or
+use :func:`scalar_reference` / :func:`set_fast_paths` at runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED: bool = os.environ.get("REPRO_SCALAR_REFERENCE", "").strip().lower() not in {
+    "1",
+    "true",
+    "yes",
+    "on",
+}
+
+
+def fast_paths_enabled() -> bool:
+    """True when kernels should take the numpy-backed fast path."""
+    return _ENABLED
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def scalar_reference() -> Iterator[None]:
+    """Run the enclosed block on the scalar reference implementations."""
+    previous = set_fast_paths(False)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)
+
+
+@contextmanager
+def fast_paths(enabled: bool = True) -> Iterator[None]:
+    """Run the enclosed block with fast paths forced on (or off)."""
+    previous = set_fast_paths(enabled)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import GraphError
 
@@ -51,6 +52,16 @@ class CoreGraph:
         self.name = name
         self._succ: dict[str, dict[str, float]] = {}
         self._pred: dict[str, dict[str, float]] = {}
+        #: Bumped on every structural mutation; the array caches below and the
+        #: per-mapping position arrays key off it.
+        self.version = 0
+        self._core_index_cache: tuple[int, dict[str, int]] | None = None
+        self._flow_arrays_cache: (
+            tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
+        ) = None
+        self._adjacency_cache: (
+            tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # construction
@@ -59,6 +70,8 @@ class CoreGraph:
         """Add a vertex; adding an existing vertex is a no-op."""
         if not core:
             raise GraphError("core name must be a non-empty string")
+        if core not in self._succ:
+            self.version += 1
         self._succ.setdefault(core, {})
         self._pred.setdefault(core, {})
 
@@ -83,6 +96,7 @@ class CoreGraph:
         previous = self._succ[src].get(dst, 0.0)
         self._succ[src][dst] = previous + float(bandwidth)
         self._pred[dst][src] = previous + float(bandwidth)
+        self.version += 1
 
     @classmethod
     def from_flows(
@@ -173,6 +187,83 @@ class CoreGraph:
             key = frozenset((flow.src, flow.dst))
             collapsed[key] = collapsed.get(key, 0.0) + flow.bandwidth
         return collapsed
+
+    # ------------------------------------------------------------------
+    # fast-path array views
+    # ------------------------------------------------------------------
+    def core_index(self) -> dict[str, int]:
+        """Core name -> dense integer index (insertion order), cached.
+
+        The index space backs every array view below and the per-mapping
+        position arrays; it is invalidated whenever the graph mutates.
+        """
+        cached = self._core_index_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        index = {core: i for i, core in enumerate(self._succ)}
+        self._core_index_cache = (self.version, index)
+        return index
+
+    def flow_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Parallel ``(src_idx, dst_idx, bandwidth)`` arrays over all flows.
+
+        Entries follow :meth:`flows` iteration order; indices refer to
+        :meth:`core_index`.  These arrays turn Equation-7 style sums into
+        single numpy gathers; treat them as read-only.
+        """
+        cached = self._flow_arrays_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        index = self.core_index()
+        count = self.num_flows
+        src = np.empty(count, dtype=np.int64)
+        dst = np.empty(count, dtype=np.int64)
+        bw = np.empty(count, dtype=np.float64)
+        k = 0
+        for s, out in self._succ.items():
+            si = index[s]
+            for d, bandwidth in out.items():
+                src[k] = si
+                dst[k] = index[d]
+                bw[k] = bandwidth
+                k += 1
+        arrays = (src, dst, bw)
+        self._flow_arrays_cache = (self.version, arrays)
+        return arrays
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view of the *undirected* neighbor weights, cached.
+
+        Returns ``(indptr, nbr_idx, nbr_wt)`` where the neighbors of core
+        index ``c`` are ``nbr_idx[indptr[c]:indptr[c + 1]]`` (ascending) and
+        ``nbr_wt`` holds :meth:`traffic_between` for each pair — the
+        structure batch swap scoring walks.
+        """
+        cached = self._adjacency_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        index = self.core_index()
+        neighbor_weights: list[dict[int, float]] = [{} for _ in index]
+        for s, out in self._succ.items():
+            si = index[s]
+            for d, bandwidth in out.items():
+                di = index[d]
+                neighbor_weights[si][di] = neighbor_weights[si].get(di, 0.0) + bandwidth
+                neighbor_weights[di][si] = neighbor_weights[di].get(si, 0.0) + bandwidth
+        indptr = np.zeros(len(index) + 1, dtype=np.int64)
+        for c, weights in enumerate(neighbor_weights):
+            indptr[c + 1] = indptr[c] + len(weights)
+        total = int(indptr[-1])
+        nbr_idx = np.empty(total, dtype=np.int64)
+        nbr_wt = np.empty(total, dtype=np.float64)
+        for c, weights in enumerate(neighbor_weights):
+            start = int(indptr[c])
+            for offset, other in enumerate(sorted(weights)):
+                nbr_idx[start + offset] = other
+                nbr_wt[start + offset] = weights[other]
+        arrays = (indptr, nbr_idx, nbr_wt)
+        self._adjacency_cache = (self.version, arrays)
+        return arrays
 
     def is_connected(self) -> bool:
         """True when the undirected version of the graph is connected."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import GraphError
 
@@ -65,6 +66,15 @@ class NoCTopology:
         for node in range(width * height):
             for neighbor in self._physical_neighbors(node):
                 self._add_link(node, neighbor, link_bandwidth)
+        # Lazily built fast-path caches (see distance_matrix / link_arrays /
+        # monotone_outgoing).  Hop distances depend only on the immutable
+        # geometry, so those caches never invalidate; the link-bandwidth
+        # array is versioned because set_link_bandwidth can change it.
+        self._dist_flat: list[int] | None = None
+        self._dist_matrix: np.ndarray | None = None
+        self._links_version = 0
+        self._link_arrays: tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+        self._monotone_cache: dict[tuple[int, int], dict[int, tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -159,9 +169,35 @@ class NoCTopology:
 
     def distance(self, a: int, b: int) -> int:
         """Minimum hop count between two nodes (Manhattan / torus metric)."""
-        ax, ay = self.coords(a)
-        bx, by = self.coords(b)
-        return self._axis_distance(ax, bx, self.width) + self._axis_distance(ay, by, self.height)
+        self._require_node(a)
+        self._require_node(b)
+        if self._dist_flat is None:
+            self._build_distance_cache()
+        return self._dist_flat[a * self.num_nodes + b]
+
+    def _build_distance_cache(self) -> None:
+        """Precompute the full hop-distance table (O(N^2), built once)."""
+        ids = np.arange(self.num_nodes)
+        xs = ids % self.width
+        ys = ids // self.width
+        dx = np.abs(xs[:, None] - xs[None, :])
+        dy = np.abs(ys[:, None] - ys[None, :])
+        if self.torus:
+            dx = np.minimum(dx, self.width - dx)
+            dy = np.minimum(dy, self.height - dy)
+        matrix = (dx + dy).astype(np.int64)
+        self._dist_matrix = matrix
+        self._dist_flat = matrix.ravel().tolist()
+
+    def distance_matrix(self) -> np.ndarray:
+        """The cached ``(N, N)`` int64 hop-distance matrix.
+
+        Treat the returned array as read-only: it is shared between every
+        vectorized kernel (Equation-7 cost, batch swap scoring, routing).
+        """
+        if self._dist_matrix is None:
+            self._build_distance_cache()
+        return self._dist_matrix
 
     # ------------------------------------------------------------------
     # links
@@ -196,6 +232,7 @@ class NoCTopology:
         if (src, dst) not in self._links:
             raise GraphError(f"no link {src}->{dst} in {self!r}")
         self._links[(src, dst)] = bandwidth
+        self._links_version += 1
 
     def with_uniform_bandwidth(self, bandwidth: float) -> "NoCTopology":
         """A copy of this topology with every link capacity replaced."""
@@ -204,6 +241,46 @@ class NoCTopology:
 
     def min_link_bandwidth(self) -> float:
         return min(self._links.values())
+
+    def link_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened ``(src, dst, bandwidth)`` arrays over all directed links.
+
+        Entries follow :meth:`link_keys` order.  Rebuilt automatically after
+        :meth:`set_link_bandwidth`; treat the arrays as read-only.
+        """
+        cached = self._link_arrays
+        if cached is not None and cached[0] == self._links_version:
+            return cached[1]
+        keys = self.link_keys()
+        src = np.fromiter((u for u, _ in keys), dtype=np.int64, count=len(keys))
+        dst = np.fromiter((v for _, v in keys), dtype=np.int64, count=len(keys))
+        bw = np.fromiter(
+            (self._links[key] for key in keys), dtype=np.float64, count=len(keys)
+        )
+        arrays = (src, dst, bw)
+        self._link_arrays = (self._links_version, arrays)
+        return arrays
+
+    def monotone_outgoing(self, src: int, dst: int) -> dict[int, tuple[int, ...]]:
+        """Outgoing adjacency of the monotone quadrant DAG, memoized.
+
+        This is exactly the structure ``shortestpath()`` Dijkstra walks for
+        the commodity ``src -> dst``; it depends only on the (immutable)
+        geometry, so it is cached per ``(src, dst)`` pair and shared across
+        every routing call — the repeated-quadrant work that dominated
+        :func:`repro.routing.min_path.min_path_routing` in the seed.
+        """
+        key = (src, dst)
+        cached = self._monotone_cache.get(key)
+        if cached is None:
+            from repro.graphs.quadrant import quadrant_links
+
+            outgoing: dict[int, list[int]] = {}
+            for u, v in quadrant_links(self, src, dst, monotone=True):
+                outgoing.setdefault(u, []).append(v)
+            cached = {node: tuple(nexts) for node, nexts in outgoing.items()}
+            self._monotone_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # export

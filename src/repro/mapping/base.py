@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.errors import MappingError
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
@@ -39,6 +41,11 @@ class Mapping:
         self.topology = topology
         self._core_to_node: dict[str, int] = {}
         self._node_to_core: dict[int, str] = {}
+        # Fast-path cache: (graph version, core->index, positions, node->core
+        # index).  Built lazily by position_arrays() and then maintained
+        # incrementally by assign/unassign/swap_nodes, so vectorized kernels
+        # never pay a rebuild on the mutation-heavy swap loops.
+        self._arrays: tuple[int, dict[str, int], np.ndarray, np.ndarray] | None = None
         for core, node in (placement or {}).items():
             self.assign(core, node)
 
@@ -61,6 +68,11 @@ class Mapping:
             raise MappingError(f"node {node} already hosts {self._node_to_core[node]!r}")
         self._core_to_node[core] = node
         self._node_to_core[node] = core
+        arrays = self._usable_arrays()
+        if arrays is not None:
+            _, index, positions, node_core = arrays
+            positions[index[core]] = node
+            node_core[node] = index[core]
 
     def unassign(self, core: str) -> None:
         """Remove ``core`` from the placement."""
@@ -69,6 +81,11 @@ class Mapping:
         except KeyError:
             raise MappingError(f"core {core!r} is not mapped") from None
         del self._node_to_core[node]
+        arrays = self._usable_arrays()
+        if arrays is not None:
+            _, index, positions, node_core = arrays
+            positions[index[core]] = -1
+            node_core[node] = -1
 
     def swap_nodes(self, node_a: int, node_b: int) -> None:
         """Exchange the contents of two mesh nodes, in place.
@@ -87,6 +104,16 @@ class Mapping:
         if core_b is not None:
             self._node_to_core[node_a] = core_b
             self._core_to_node[core_b] = node_a
+        arrays = self._usable_arrays()
+        if arrays is not None:
+            _, index, positions, node_core = arrays
+            idx_a = index[core_a] if core_a is not None else -1
+            idx_b = index[core_b] if core_b is not None else -1
+            node_core[node_a], node_core[node_b] = idx_b, idx_a
+            if idx_a >= 0:
+                positions[idx_a] = node_b
+            if idx_b >= 0:
+                positions[idx_b] = node_a
 
     def swapped(self, node_a: int, node_b: int) -> "Mapping":
         """A copy with the contents of two nodes exchanged."""
@@ -142,6 +169,45 @@ class Mapping:
     def free_nodes(self) -> list[int]:
         """Unoccupied nodes, in ascending id order (deterministic tie-breaks)."""
         return [node for node in self.topology.nodes if node not in self._node_to_core]
+
+    # ------------------------------------------------------------------
+    # fast-path array views
+    # ------------------------------------------------------------------
+    def _usable_arrays(
+        self,
+    ) -> tuple[int, dict[str, int], np.ndarray, np.ndarray] | None:
+        """The cached arrays when still valid for the current graph version.
+
+        A stale cache (the core graph gained cores/flows after the cache was
+        built) is dropped so the next :meth:`position_arrays` call rebuilds.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            return None
+        if arrays[0] != self.core_graph.version:
+            self._arrays = None
+            return None
+        return arrays
+
+    def position_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(positions, node_core)`` int64 views of the placement.
+
+        ``positions[c]`` is the node hosting core index ``c`` (per
+        :meth:`CoreGraph.core_index`) or -1 when unmapped; ``node_core[n]``
+        is the core index on node ``n`` or -1 when empty.  Built lazily,
+        then updated in place by every mutation — treat as read-only.
+        """
+        arrays = self._usable_arrays()
+        if arrays is None:
+            index = self.core_graph.core_index()
+            positions = np.full(len(index), -1, dtype=np.int64)
+            node_core = np.full(self.topology.num_nodes, -1, dtype=np.int64)
+            for core, node in self._core_to_node.items():
+                positions[index[core]] = node
+                node_core[node] = index[core]
+            arrays = (self.core_graph.version, index, positions, node_core)
+            self._arrays = arrays
+        return arrays[2], arrays[3]
 
     def validate(self) -> None:
         """Check completeness and bijectivity onto the used node set.

@@ -7,6 +7,10 @@
 * :mod:`repro.metrics.energy` — the Hu–Marculescu bit-energy model used by
   the PBB baseline's original objective (extension; the DATE'04 paper
   compares on cost/bandwidth only).
+
+Cost kernels are numpy-vectorized with bit-identical scalar references
+behind :mod:`repro.fastpath`; :func:`swap_cost_deltas` scores every
+candidate swap partner of a node in one call (see PERFORMANCE.md).
 """
 
 from repro.metrics.bandwidth import (
@@ -14,7 +18,14 @@ from repro.metrics.bandwidth import (
     min_bandwidth_split,
     min_bandwidth_xy,
 )
-from repro.metrics.comm_cost import average_hop_count, comm_cost, comm_cost_limit
+from repro.metrics.comm_cost import (
+    average_hop_count,
+    comm_cost,
+    comm_cost_limit,
+    comm_cost_reference,
+    swap_cost_delta,
+    swap_cost_deltas,
+)
 from repro.metrics.energy import BitEnergyModel, communication_energy
 from repro.metrics.report import MappingReport, evaluate_mapping
 
@@ -24,7 +35,10 @@ __all__ = [
     "average_hop_count",
     "comm_cost",
     "comm_cost_limit",
+    "comm_cost_reference",
     "communication_energy",
+    "swap_cost_delta",
+    "swap_cost_deltas",
     "evaluate_mapping",
     "min_bandwidth_min_path",
     "min_bandwidth_split",

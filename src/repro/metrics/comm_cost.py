@@ -5,10 +5,23 @@ is the minimum hop count on the mesh.  Note the cost depends only on the
 *mapping*, not on which minimum paths the router picks — routing affects
 feasibility (Inequality 3), not this objective.  That property is what lets
 NMAP pre-screen swap candidates cheaply (see DESIGN.md).
+
+Every kernel here exists twice: the scalar loop from the seed implementation
+(kept verbatim as ``*_reference``, the oracle the property tests compare
+against) and a numpy fast path over the cached array views
+(:meth:`CoreGraph.flow_arrays`, :meth:`Mapping.position_arrays`,
+:meth:`NoCTopology.distance_matrix`).  Which one runs is governed by
+:mod:`repro.fastpath`.  Bandwidth labels in this repository are
+integer-valued (VOPD/MPEG tables, rounded random graphs), so every product
+and sum is exact in float64 and the two paths agree bit for bit; see
+PERFORMANCE.md for the argument.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import fastpath
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
 from repro.mapping.base import Mapping
@@ -17,8 +30,8 @@ from repro.mapping.base import Mapping
 MAXVALUE = float("inf")
 
 
-def comm_cost(mapping: Mapping) -> float:
-    """Equation 7 for a complete mapping.
+def comm_cost_reference(mapping: Mapping) -> float:
+    """Equation 7 for a complete mapping — the scalar reference loop.
 
     Raises:
         repro.errors.MappingError: via :meth:`Mapping.node_of` when a flow
@@ -33,7 +46,32 @@ def comm_cost(mapping: Mapping) -> float:
     return total
 
 
-def comm_cost_limit(mapping: Mapping, limit: float) -> float:
+def comm_cost(mapping: Mapping) -> float:
+    """Equation 7 for a complete mapping.
+
+    Vectorized as one gather over the cached hop-distance matrix when fast
+    paths are enabled; falls back to :func:`comm_cost_reference` (and its
+    exact error behaviour) on partial mappings.
+
+    Raises:
+        repro.errors.MappingError: via :meth:`Mapping.node_of` when a flow
+            endpoint is unmapped.
+    """
+    if not fastpath.fast_paths_enabled():
+        return comm_cost_reference(mapping)
+    src, dst, bw = mapping.core_graph.flow_arrays()
+    if src.size == 0:
+        return 0.0
+    positions, _ = mapping.position_arrays()
+    src_nodes = positions[src]
+    dst_nodes = positions[dst]
+    if src_nodes.min() < 0 or dst_nodes.min() < 0:
+        return comm_cost_reference(mapping)
+    distances = mapping.topology.distance_matrix()
+    return float(bw @ distances[src_nodes, dst_nodes])
+
+
+def comm_cost_limit_reference(mapping: Mapping, limit: float) -> float:
     """Equation 7 with early exit once the partial sum exceeds ``limit``.
 
     Used by the swap loops: most candidate swaps are worse than the current
@@ -49,6 +87,18 @@ def comm_cost_limit(mapping: Mapping, limit: float) -> float:
         if total > limit:
             return total
     return total
+
+
+def comm_cost_limit(mapping: Mapping, limit: float) -> float:
+    """Equation 7 capped at ``limit`` — see :func:`comm_cost_limit_reference`.
+
+    The fast path computes the exact full sum in one vectorized pass (which
+    is cheaper than any scalar early exit) and therefore still satisfies the
+    contract: the returned value exceeds ``limit`` iff the true cost does.
+    """
+    if not fastpath.fast_paths_enabled():
+        return comm_cost_limit_reference(mapping, limit)
+    return comm_cost(mapping)
 
 
 def average_hop_count(mapping: Mapping) -> float:
@@ -67,7 +117,11 @@ def swap_cost_delta(mapping: Mapping, node_a: int, node_b: int) -> float:
 
     Only flows incident to the affected cores change, so this is
     ``O(deg(a) + deg(b))`` instead of ``O(|E|)`` — the workhorse of NMAP's
-    improvement loop on large random graphs (Table 2).
+    improvement loop on large random graphs (Table 2).  Single-pair calls
+    (the annealer's move loop) stay on this scalar kernel — its hop lookups
+    already hit the topology's cached distance table, and numpy dispatch
+    overhead would dominate at ``O(deg)`` size; batch candidate scans should
+    use :func:`swap_cost_deltas` instead.
     """
     topology = mapping.topology
     graph = mapping.core_graph
@@ -97,3 +151,102 @@ def swap_cost_delta(mapping: Mapping, node_a: int, node_b: int) -> float:
             new = topology.distance(located(core), located(other))
             delta += bandwidth * (new - old)
     return delta
+
+
+#: The scalar kernel doubles as the reference oracle for the batch scorer.
+swap_cost_delta_reference = swap_cost_delta
+
+
+def swap_cost_deltas(
+    mapping: Mapping, node_a: int, candidates: "np.ndarray | list[int]"
+) -> np.ndarray:
+    """Equation-7 deltas for swapping ``node_a`` with *every* candidate node.
+
+    One vectorized call replaces ``len(candidates)`` scalar
+    :func:`swap_cost_delta` evaluations — the inner ``j`` scan of NMAP's
+    pairwise-improvement loop and the annealer's candidate screens.  For
+    each candidate ``b`` (current cores ``ca`` on ``node_a``, ``cb`` on
+    ``b``, either possibly empty) the delta decomposes as::
+
+        delta(a, b) = S(ca, a, b) + S(cb, b, a) + 2 * w(ca, cb) * D[a, b]
+
+    where ``S(c, u, v)`` is the cost change of moving core ``c`` from node
+    ``u`` to ``v`` with all its neighbors pinned, and the last term cancels
+    the double-counted ``ca``–``cb`` edge (their mutual distance is
+    unchanged by the swap).  ``S`` terms are evaluated as gathers over the
+    distance matrix: a dense ``(B, deg(ca))`` block for the first, a
+    CSR segment-sum over every candidate's neighborhood for the second.
+
+    Falls back to per-pair :func:`swap_cost_delta_reference` calls (same
+    results, same exceptions) for out-of-range nodes or partial mappings.
+
+    Returns:
+        ``float64`` array of deltas, one per candidate, in candidate order.
+    """
+    nodes = np.asarray(candidates, dtype=np.int64)
+    if nodes.size == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    def _fallback() -> np.ndarray:
+        return np.array(
+            [swap_cost_delta_reference(mapping, node_a, int(b)) for b in nodes],
+            dtype=np.float64,
+        )
+
+    topology = mapping.topology
+    num_nodes = topology.num_nodes
+    if (
+        not fastpath.fast_paths_enabled()
+        or not (0 <= node_a < num_nodes)
+        or int(nodes.min()) < 0
+        or int(nodes.max()) >= num_nodes
+    ):
+        return _fallback()
+
+    distances = topology.distance_matrix()
+    positions, node_core = mapping.position_arrays()
+    indptr, nbr_idx, nbr_wt = mapping.core_graph.adjacency_arrays()
+
+    deltas = np.zeros(nodes.size, dtype=np.float64)
+    pair_wt = np.zeros(nodes.size, dtype=np.float64)
+    cand_cores = node_core[nodes]
+    core_a = int(node_core[node_a])
+
+    if core_a >= 0:
+        lo, hi = int(indptr[core_a]), int(indptr[core_a + 1])
+        a_nbrs = nbr_idx[lo:hi]
+        a_wts = nbr_wt[lo:hi]
+        if a_nbrs.size:
+            nbr_pos = positions[a_nbrs]
+            if int(nbr_pos.min()) < 0:
+                return _fallback()
+            deltas += distances[np.ix_(nodes, nbr_pos)] @ a_wts
+            deltas -= float(a_wts @ distances[node_a, nbr_pos])
+            weight_of = np.zeros(positions.size, dtype=np.float64)
+            weight_of[a_nbrs] = a_wts
+            mapped = cand_cores >= 0
+            pair_wt[mapped] = weight_of[cand_cores[mapped]]
+
+    mapped = cand_cores >= 0
+    if mapped.any():
+        mapped_cores = cand_cores[mapped]
+        starts = indptr[mapped_cores]
+        counts = indptr[mapped_cores + 1] - starts
+        total = int(counts.sum())
+        if total:
+            segments = np.repeat(np.arange(mapped_cores.size), counts)
+            offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            flat = starts[segments] + offsets
+            b_nbrs = nbr_idx[flat]
+            b_wts = nbr_wt[flat]
+            nbr_pos = positions[b_nbrs]
+            if int(nbr_pos.min()) < 0:
+                return _fallback()
+            b_rep = nodes[mapped][segments]
+            contrib = b_wts * (distances[node_a, nbr_pos] - distances[b_rep, nbr_pos])
+            deltas[mapped] += np.bincount(
+                segments, weights=contrib, minlength=mapped_cores.size
+            )
+
+    deltas += 2.0 * pair_wt * distances[node_a, nodes]
+    return deltas

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro import fastpath
 from repro.errors import RoutingError
 from repro.graphs.commodities import Commodity
 from repro.graphs.quadrant import quadrant_links
@@ -48,10 +49,17 @@ def least_loaded_quadrant_path(
     """
     if src == dst:
         raise RoutingError("no path needed between a node and itself")
-    allowed = quadrant_links(topology, src, dst, monotone=True)
-    outgoing: dict[int, list[int]] = {}
-    for u, v in allowed:
-        outgoing.setdefault(u, []).append(v)
+    if fastpath.fast_paths_enabled():
+        # The monotone quadrant DAG depends only on the (immutable) geometry,
+        # so it is memoized per (src, dst) on the topology and shared across
+        # every commodity and every mapping candidate NMAP prices.
+        outgoing: dict[int, tuple[int, ...]] | dict[int, list[int]]
+        outgoing = topology.monotone_outgoing(src, dst)
+    else:
+        allowed = quadrant_links(topology, src, dst, monotone=True)
+        outgoing = {}
+        for u, v in allowed:
+            outgoing.setdefault(u, []).append(v)
 
     # Dijkstra with (total weight, path) entries; ties broken by node ids
     # via the path tuple, which keeps results deterministic.

@@ -89,10 +89,35 @@ class OutputPort:
     owner_packet_id: int | None = None
     rr_pointer: int = 0
     flits_carried: int = 0
+    #: Last cycle this port's token bucket was refilled (-1 = never).  Lets
+    #: the active-set simulator skip idle routers entirely and catch up
+    #: their refills later, bit-identically to per-cycle refilling.
+    last_refill: int = -1
 
     def refill(self) -> None:
         """Token-bucket refill; capacity one extra token of headroom."""
         self.tokens = min(self.tokens + self.rate, max(1.0, self.rate) + 1.0)
+
+    def refill_to(self, cycle: int) -> None:
+        """Apply every per-cycle refill owed up to (and including) ``cycle``.
+
+        Replays ``min(tokens + rate, cap)`` once per skipped cycle rather
+        than multiplying ``rate`` by the gap, so the token value is exactly
+        what a cycle-by-cycle simulation would have produced (floating-point
+        accumulation order matters); the replay stops as soon as the bucket
+        saturates, since ``cap`` is a fixpoint of the update.
+        """
+        pending = cycle - self.last_refill
+        if pending <= 0:
+            return
+        self.last_refill = cycle
+        cap = max(1.0, self.rate) + 1.0
+        tokens = self.tokens
+        for _ in range(pending):
+            tokens = min(tokens + self.rate, cap)
+            if tokens == cap:
+                break
+        self.tokens = tokens
 
     @property
     def can_send(self) -> bool:
@@ -194,7 +219,7 @@ class Router:
         moved = 0
         for out_key in self.output_order:
             port = self.outputs[out_key]
-            port.refill()
+            port.refill_to(cycle)
             if port.owner is None:
                 winner = self._arbitrate(port, cycle)
                 if winner is None:
@@ -228,3 +253,19 @@ class Router:
 
     def buffered_flits(self) -> int:
         return sum(port.occupancy for port in self.inputs.values())
+
+    def is_idle(self) -> bool:
+        """True when stepping this router would be a no-op (modulo refill).
+
+        No buffered flits and no allocated wormhole means no arbitration can
+        succeed and no flit can move; token refills are the only skipped
+        effect, and :meth:`OutputPort.refill_to` replays those exactly when
+        the router re-activates.
+        """
+        for port in self.inputs.values():
+            if port.queue:
+                return False
+        for port in self.outputs.values():
+            if port.owner is not None:
+                return False
+        return True

@@ -15,8 +15,11 @@ hangs must not masquerade as results).
 
 from __future__ import annotations
 
+import bisect
+import heapq
 from dataclasses import dataclass
 
+from repro import fastpath
 from repro.errors import SimulationError
 from repro.graphs.commodities import Commodity
 from repro.graphs.topology import NoCTopology
@@ -70,10 +73,14 @@ class Simulator:
             recorder's cap).
     """
 
-    def __init__(self, network: Network, trace=None) -> None:
+    def __init__(self, network: Network, trace=None, active_set: bool | None = None) -> None:
         self.network = network
         self.config = network.config
         self.trace = trace
+        #: None = follow the global fast-path switch; True/False forces the
+        #: active-set or full-scan cycle loop (the latter is the reference
+        #: oracle the equivalence tests compare against).
+        self.active_set = active_set
         self._packet_counter = 0
         self._all_packets: list[Packet] = []
 
@@ -84,10 +91,28 @@ class Simulator:
     def run(self) -> SimulationReport:
         """Simulate warmup + measurement + drain and aggregate statistics.
 
+        Dispatches to the active-set cycle loop (skip idle routers/NIs,
+        fast-forward fully idle gaps) or the scan-everything reference loop;
+        both produce identical reports — see PERFORMANCE.md for the
+        invariants that make the skipping exact.
+
         Raises:
             SimulationError: on detected deadlock or when no measured packet
                 is delivered.
         """
+        use_active = (
+            self.active_set
+            if self.active_set is not None
+            else fastpath.fast_paths_enabled()
+        )
+        if use_active:
+            self._run_active_set()
+        else:
+            self._run_full_scan()
+        return self._build_report()
+
+    def _run_full_scan(self) -> None:
+        """The seed's cycle loop: every source, NI and router, every cycle."""
         network = self.network
         config = self.config
         measure_start = config.warmup_cycles
@@ -127,6 +152,122 @@ class Simulator:
                     f"with {network.total_buffered_flits()} flits buffered"
                 )
 
+    def _run_active_set(self) -> None:
+        """Cycle loop that only touches components with pending work.
+
+        Equivalence with :meth:`_run_full_scan` (the invariants the property
+        tests pin down):
+
+        * an NI with an empty injection queue and a router with no buffered
+          flits and no allocated wormhole are no-ops in the full scan except
+          for token refills, which :meth:`OutputPort.refill_to` replays
+          bit-exactly on re-activation;
+        * routers are stepped in ascending node id; a flit delivered
+          downstream mid-cycle activates its receiver, inserting it into the
+          current sweep iff its id is still ahead (the full scan would have
+          stepped it later this same cycle) — receivers behind the sweep
+          point were stepped as no-ops already and wake next cycle;
+        * sources sit in a heap keyed by their next firing cycle, so a
+          completely idle network (no backlog, no flits in flight) jumps
+          straight to the next injection without touching anything.
+        """
+        network = self.network
+        config = self.config
+        measure_start = config.warmup_cycles
+        measure_end = config.warmup_cycles + config.measure_cycles
+        total_cycles = config.total_cycles
+        last_progress = 0
+
+        trace = self.trace
+        routers = network.routers
+        interfaces = network.interfaces
+
+        active_routers: set[int] = set()
+        active_nis: set[int] = set()
+
+        # Per-cycle router sweep state, shared with the deliver closure.
+        sweep: list[int] = []
+        swept: set[int] = set()
+        sweep_pos = [0]
+
+        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
+            if trace is not None:
+                trace.record(from_node, to_key, flit, cycle)
+            if to_key == LOCAL:
+                interfaces[from_node].eject(flit, cycle)
+                return
+            routers[to_key].inputs[from_node].push(flit, cycle)
+            active_routers.add(to_key)
+            if to_key not in swept and to_key > sweep[sweep_pos[0]]:
+                bisect.insort(sweep, to_key, lo=sweep_pos[0] + 1)
+                swept.add(to_key)
+
+        event_heap = [
+            (source.next_event_cycle, index)
+            for index, source in enumerate(network.sources)
+        ]
+        heapq.heapify(event_heap)
+
+        cycle = 0
+        while cycle < total_cycles:
+            if not active_routers and not active_nis:
+                # Fully idle: no flit buffered or in flight anywhere, so
+                # nothing can happen before the next source fires.
+                if not event_heap or event_heap[0][0] >= total_cycles:
+                    break
+                if event_heap[0][0] > cycle:
+                    cycle = event_heap[0][0]
+
+            while event_heap and event_heap[0][0] <= cycle:
+                _, index = heapq.heappop(event_heap)
+                source = network.sources[index]
+                for packet in source.packets_for_cycle(cycle, self._next_packet_id):
+                    packet.measured = measure_start <= cycle < measure_end
+                    self._all_packets.append(packet)
+                    interfaces[packet.src_node].offer_packet(packet)
+                    active_nis.add(packet.src_node)
+                heapq.heappush(event_heap, (source.next_event_cycle, index))
+
+            moved = 0
+            if active_nis:
+                drained = []
+                for node in sorted(active_nis):
+                    interface = interfaces[node]
+                    injected = interface.inject(cycle, LOCAL)
+                    if injected:
+                        moved += injected
+                        active_routers.add(node)
+                    if not interface.backlog_flits:
+                        drained.append(node)
+                for node in drained:
+                    active_nis.discard(node)
+
+            if active_routers:
+                sweep = sorted(active_routers)
+                swept = set(sweep)
+                sweep_pos[0] = 0
+                while sweep_pos[0] < len(sweep):
+                    moved += routers[sweep[sweep_pos[0]]].step(cycle, deliver)
+                    sweep_pos[0] += 1
+                for node in sweep:
+                    if routers[node].is_idle():
+                        active_routers.discard(node)
+
+            if moved:
+                last_progress = cycle
+            elif (
+                cycle - last_progress > DEADLOCK_WINDOW
+                and network.total_buffered_flits() > 0
+            ):
+                raise SimulationError(
+                    f"deadlock: no flit moved since cycle {last_progress} "
+                    f"with {network.total_buffered_flits()} flits buffered"
+                )
+            cycle += 1
+
+    def _build_report(self) -> SimulationReport:
+        network = self.network
+        config = self.config
         delivered = [
             packet
             for ni in network.interfaces.values()

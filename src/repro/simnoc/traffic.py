@@ -17,6 +17,7 @@ table entries.
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.errors import SimulationError
@@ -148,3 +149,13 @@ class BurstyTrafficSource:
     def offered_flits_per_cycle(self) -> float:
         """Configured long-run offered load (for reports and tests)."""
         return self.rate
+
+    @property
+    def next_event_cycle(self) -> int:
+        """First integer cycle at which :meth:`packets_for_cycle` can fire.
+
+        The active-set simulator keeps sources in a priority queue keyed by
+        this value so fully idle stretches between injections can be skipped
+        without calling every source every cycle.
+        """
+        return max(0, math.ceil(self._next_time))

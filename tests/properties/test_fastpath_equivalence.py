@@ -1,0 +1,174 @@
+"""Fast path == scalar reference, for every vectorized kernel.
+
+The contract (PERFORMANCE.md): every numpy-backed fast path produces
+*bit-identical* results to the seed's scalar implementation.  Bandwidth
+labels in this repository are integer-valued, so all Equation-7 arithmetic
+is exact in float64 and plain ``==`` comparisons are the right assertion —
+any tolerance would hide a real divergence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.apps import vopd
+from repro.graphs.commodities import build_commodities
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping import annealing_mapping, nmap_single_path
+from repro.mapping.base import Mapping
+from repro.metrics.comm_cost import (
+    comm_cost,
+    comm_cost_limit,
+    comm_cost_limit_reference,
+    comm_cost_reference,
+    swap_cost_delta_reference,
+    swap_cost_deltas,
+)
+from repro.routing.min_path import min_path_routing
+from repro.simnoc.config import SimConfig
+from repro.simnoc.network import build_network
+from repro.simnoc.simulator import Simulator
+
+
+def _workloads():
+    """(core graph, topology) pairs covering mesh, torus and empty nodes."""
+    yield vopd(), NoCTopology.smallest_mesh_for(16)
+    yield random_core_graph(30, seed=7), NoCTopology.smallest_mesh_for(30)
+    yield random_core_graph(12, seed=3), NoCTopology.torus_grid(4, 4)
+
+
+def _random_complete_mapping(app, mesh, rng):
+    nodes = list(mesh.nodes)
+    rng.shuffle(nodes)
+    return Mapping(app, mesh, dict(zip(app.cores, nodes)))
+
+
+class TestCostKernels:
+    def test_comm_cost_matches_reference(self):
+        rng = random.Random(2024)
+        for app, mesh in _workloads():
+            for _ in range(10):
+                mapping = _random_complete_mapping(app, mesh, rng)
+                assert comm_cost(mapping) == comm_cost_reference(mapping)
+
+    def test_comm_cost_tracks_mutations(self):
+        """The in-place array maintenance must survive swap/assign churn."""
+        rng = random.Random(5)
+        app, mesh = vopd(), NoCTopology.smallest_mesh_for(16)
+        mapping = _random_complete_mapping(app, mesh, rng)
+        comm_cost(mapping)  # force the array cache into existence
+        for _ in range(50):
+            a, b = rng.sample(list(mesh.nodes), 2)
+            mapping.swap_nodes(a, b)
+            assert comm_cost(mapping) == comm_cost_reference(mapping)
+        core = app.cores[0]
+        node = mapping.node_of(core)
+        mapping.unassign(core)
+        mapping.assign(core, node)
+        assert comm_cost(mapping) == comm_cost_reference(mapping)
+
+    def test_comm_cost_limit_decisions_match(self):
+        rng = random.Random(11)
+        for app, mesh in _workloads():
+            mapping = _random_complete_mapping(app, mesh, rng)
+            exact = comm_cost_reference(mapping)
+            for limit in (0.0, exact / 2, exact, exact * 2):
+                fast = comm_cost_limit(mapping, limit)
+                slow = comm_cost_limit_reference(mapping, limit)
+                assert (fast > limit) == (slow > limit)
+
+    def test_batch_swap_deltas_match_scalar_all_pairs(self):
+        rng = random.Random(77)
+        for app, mesh in _workloads():
+            mapping = _random_complete_mapping(app, mesh, rng)
+            for a in mesh.nodes:
+                candidates = [b for b in mesh.nodes if b != a]
+                batch = swap_cost_deltas(mapping, a, candidates)
+                scalar = np.array(
+                    [swap_cost_delta_reference(mapping, a, b) for b in candidates]
+                )
+                assert np.array_equal(batch, scalar)
+
+    def test_batch_swap_deltas_empty_and_identity(self):
+        app, mesh = vopd(), NoCTopology.smallest_mesh_for(16)
+        mapping = _random_complete_mapping(app, mesh, random.Random(1))
+        assert swap_cost_deltas(mapping, 0, []).size == 0
+        assert swap_cost_deltas(mapping, 3, [3])[0] == 0.0
+
+
+class TestAlgorithmTrajectories:
+    """Fast paths must not just approximate — the *search* must be identical."""
+
+    @pytest.mark.parametrize("size,seed", [(16, 0), (35, 2039)])
+    def test_nmap_identical_under_both_modes(self, size, seed):
+        app = vopd() if size == 16 else random_core_graph(size, seed=seed)
+        mesh = NoCTopology.smallest_mesh_for(
+            app.num_cores, link_bandwidth=app.total_bandwidth()
+        )
+        with fastpath.scalar_reference():
+            reference = nmap_single_path(app, mesh)
+        with fastpath.fast_paths():
+            fast = nmap_single_path(app, mesh)
+        assert fast.mapping.placement == reference.mapping.placement
+        assert fast.comm_cost == reference.comm_cost
+        assert fast.stats == reference.stats
+
+    def test_annealing_identical_under_both_modes(self):
+        app = random_core_graph(20, seed=9)
+        mesh = NoCTopology.smallest_mesh_for(20, link_bandwidth=app.total_bandwidth())
+        with fastpath.scalar_reference():
+            reference = annealing_mapping(app, mesh, seed=4)
+        with fastpath.fast_paths():
+            fast = annealing_mapping(app, mesh, seed=4)
+        assert fast.mapping.placement == reference.mapping.placement
+        assert fast.comm_cost == reference.comm_cost
+        assert fast.stats == reference.stats
+
+    def test_min_path_routing_identical_under_both_modes(self):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mapping = nmap_single_path(app, mesh).mapping
+        commodities = build_commodities(app, mapping)
+        with fastpath.scalar_reference():
+            reference = min_path_routing(mesh, commodities)
+        with fastpath.fast_paths():
+            fast = min_path_routing(mesh, commodities)
+        assert fast.paths == reference.paths
+
+
+class TestSimulatorEquivalence:
+    @pytest.mark.parametrize("bandwidth_scale,burst", [(0.05, 1.0), (0.5, 3.0)])
+    def test_active_set_matches_full_scan(self, bandwidth_scale, burst):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mapping = nmap_single_path(app, mesh).mapping
+        commodities = build_commodities(app, mapping)
+        routing = min_path_routing(mesh, commodities)
+        config = SimConfig(
+            warmup_cycles=500,
+            measure_cycles=4000,
+            drain_cycles=500,
+            seed=13,
+            mean_burst_packets=burst,
+        )
+
+        def run(active_set: bool):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=bandwidth_scale
+            )
+            return Simulator(network, active_set=active_set).run()
+
+        fast = run(True)
+        reference = run(False)
+        assert fast.stats == reference.stats
+        assert fast.packets_created == reference.packets_created
+        assert fast.packets_delivered == reference.packets_delivered
+        assert fast.per_commodity_latency == reference.per_commodity_latency
+        assert fast.per_commodity_jitter == reference.per_commodity_jitter
+        assert fast.link_utilization == reference.link_utilization
+        assert fast.cycles == reference.cycles
