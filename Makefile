@@ -1,19 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test bench-smoke bench smoke
 
-# What CI runs on every push: the tier-1 suite plus a smoke-sized perf bench.
-# The speedup floor is deliberately far below the real margins (3-20x; the
-# smallest smoke kernel sits near 1.3x and jitters on loaded runners) — it
-# exists to catch order-of-magnitude regressions, not to measure.
-check: test bench-smoke
+# What CI runs on every push: the tier-1 suite, a smoke-sized perf bench,
+# and the example/CLI smoke.  The speedup floor is deliberately far below
+# the real margins (3-20x; the smallest smoke kernel sits near 1.3x and
+# jitters on loaded runners) — it exists to catch order-of-magnitude
+# regressions, not to measure.
+check: test bench-smoke smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke --output /tmp/BENCH_smoke.json --min-speedup 0.5
+
+# End-to-end smoke: the quickstart example plus one torus mapping through
+# the CLI — proves the repro.api facade and torus routing stay wired up.
+smoke:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) -m repro.cli map --app vopd --topology torus:4x4
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

@@ -28,11 +28,11 @@ import time
 from pathlib import Path
 
 from repro import fastpath
+from repro.api import get_mapper
 from repro.apps import vopd
 from repro.graphs.commodities import build_commodities
 from repro.graphs.random_graphs import random_core_graph
 from repro.graphs.topology import NoCTopology
-from repro.mapping import nmap_single_path
 from repro.mapping.base import Mapping
 from repro.metrics.comm_cost import (
     comm_cost,
@@ -111,7 +111,8 @@ def bench_nmap_vopd(smoke: bool):
     """The full NMAP single-path run on VOPD (the paper's Figure 3 input)."""
     app = vopd()
     mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
-    return (lambda: nmap_single_path(app, mesh)), {}
+    nmap = get_mapper("nmap")
+    return (lambda: nmap.run(app, mesh)), {}
 
 
 def bench_nmap_65_cores(smoke: bool):
@@ -120,14 +121,15 @@ def bench_nmap_65_cores(smoke: bool):
     mesh = NoCTopology.smallest_mesh_for(
         app.num_cores, link_bandwidth=app.total_bandwidth()
     )
-    return (lambda: nmap_single_path(app, mesh)), {}
+    nmap = get_mapper("nmap")
+    return (lambda: nmap.run(app, mesh)), {}
 
 
 def bench_min_path_routing_vopd(smoke: bool):
     """Load-balanced minimum-path pricing of one VOPD mapping."""
     app = vopd()
     mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
-    mapping = nmap_single_path(app, mesh).mapping
+    mapping = get_mapper("nmap").run(app, mesh).mapping
     commodities = build_commodities(app, mapping)
     repeats = 5 if smoke else 20
 
@@ -142,7 +144,7 @@ def bench_simulate_vopd_low_load(smoke: bool):
     """Wormhole simulation at 5% load — where idle-skipping dominates."""
     app = vopd()
     mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
-    mapping = nmap_single_path(app, mesh).mapping
+    mapping = get_mapper("nmap").run(app, mesh).mapping
     commodities = build_commodities(app, mapping)
     routing = min_path_routing(mesh, commodities)
     config = SimConfig(

@@ -2,10 +2,11 @@
 """Bring your own application: build a core graph, compare all algorithms.
 
 Models a small software-defined-radio pipeline (a workload the paper's
-intro motivates: streaming kernels with very uneven bandwidths), then runs
-every mapping algorithm on it and prints a comparison table — the typical
-"which mapper should I use for my SoC" exploration.  Also shows JSON
-round-tripping for use with the `nmap-noc` CLI.
+intro motivates: streaming kernels with very uneven bandwidths), ships it
+to the facade as an *inline* core-graph payload, and fans every registered
+mapping algorithm over it with ``run_batch`` — the typical "which mapper
+should I use for my SoC" exploration, in the exact shape a mapping service
+would queue it.
 
 Run:  python examples/custom_app.py
 """
@@ -13,10 +14,9 @@ Run:  python examples/custom_app.py
 import tempfile
 from pathlib import Path
 
-from repro.graphs import CoreGraph, NoCTopology
-from repro.graphs.io import load_core_graph, save_core_graph
-from repro.mapping import gmap, nmap_single_path, nmap_with_splitting, pbb, pmap
-from repro.metrics import min_bandwidth_min_path
+from repro.api import MapRequest, TopologySpec, list_mappers, run_batch
+from repro.graphs import CoreGraph
+from repro.graphs.io import core_graph_to_dict, load_core_graph, save_core_graph
 
 
 def build_sdr_pipeline() -> CoreGraph:
@@ -39,24 +39,27 @@ def build_sdr_pipeline() -> CoreGraph:
 
 def main() -> None:
     app = build_sdr_pipeline()
-    mesh = NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=600.0)
-    print(f"{app.name}: {app.num_cores} cores on a "
-          f"{mesh.width}x{mesh.height} mesh with 600 MB/s links\n")
+    payload = core_graph_to_dict(app)
+    mappers = list_mappers()
+    print(f"{app.name}: {app.num_cores} cores, every registered mapper "
+          f"({', '.join(mappers)}) on 600 MB/s links\n")
 
-    algorithms = {
-        "pmap": lambda: pmap(app, mesh),
-        "gmap": lambda: gmap(app, mesh),
-        "pbb": lambda: pbb(app, mesh),
-        "nmap": lambda: nmap_single_path(app, mesh),
-        "nmap-ta": lambda: nmap_with_splitting(app, mesh),
-    }
+    requests = [
+        MapRequest(
+            app=payload,
+            mapper=name,
+            topology=TopologySpec(link_bandwidth=600.0),
+            seed=7 if name == "annealing" else None,
+        )
+        for name in mappers
+    ]
+    responses = run_batch(requests)
+
     print(f"{'algorithm':>10} {'comm cost':>10} {'feasible':>9} {'min BW':>8}")
-    for name, run in algorithms.items():
-        result = run()
-        if result.feasible:
-            bandwidth, _ = min_bandwidth_min_path(result.mapping)
-            print(f"{name:>10} {result.comm_cost:>10.0f} {'yes':>9} "
-                  f"{bandwidth:>7.0f}")
+    for name, response in zip(mappers, responses):
+        if response.feasible:
+            print(f"{name:>10} {response.comm_cost:>10.0f} {'yes':>9} "
+                  f"{response.min_bw_single:>7.0f}")
         else:
             print(f"{name:>10} {'-':>10} {'no':>9} {'-':>8}")
 

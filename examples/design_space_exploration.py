@@ -3,17 +3,16 @@
 
 The paper's conclusion pitches NMAP for "fast design space exploration for
 NoC topology selection".  This example does exactly that for the MPEG-4
-decoder: sweep candidate mesh shapes and uniform link bandwidths, run NMAP
-on each point, and tabulate cost / feasibility / bandwidth headroom so a
-designer can pick the cheapest feasible corner.
+decoder through the batch engine: every (shape x bandwidth) candidate is
+one :class:`repro.api.MapRequest`, the whole sweep fans out over
+``run_batch``, and the typed responses are tabulated so a designer can pick
+the cheapest feasible corner.
 
 Run:  python examples/design_space_exploration.py
 """
 
+from repro.api import MapRequest, TopologySpec, run_batch
 from repro.apps import mpeg4
-from repro.graphs import NoCTopology
-from repro.mapping import nmap_single_path
-from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
 
 
 def main() -> None:
@@ -22,35 +21,51 @@ def main() -> None:
           f"{app.total_bandwidth():.0f} MB/s total\n")
 
     shapes = [(4, 4), (5, 3), (7, 2), (4, 5)]
+    requests = [
+        MapRequest(
+            app="mpeg4",
+            mapper="nmap",
+            topology=TopologySpec("mesh", width, height, app.total_bandwidth()),
+        )
+        for width, height in shapes
+        if width * height >= app.num_cores
+    ]
+    responses = run_batch(requests)
+
     print(f"{'mesh':>6} {'cost':>7} {'minBW(single)':>14} {'minBW(split)':>13} "
           f"{'avg hops':>9}")
     best = None
-    for width, height in shapes:
-        if width * height < app.num_cores:
-            continue
-        mesh = NoCTopology.mesh(width, height, link_bandwidth=app.total_bandwidth())
-        result = nmap_single_path(app, mesh)
-        single_bw, _ = min_bandwidth_min_path(result.mapping)
-        split_bw, _ = min_bandwidth_split(result.mapping)
-        hops = result.comm_cost / app.total_bandwidth()
-        print(f"{width}x{height:>3} {result.comm_cost:>7.0f} {single_bw:>14.0f} "
-              f"{split_bw:>13.0f} {hops:>9.2f}")
-        if best is None or result.comm_cost < best[1]:
-            best = ((width, height), result.comm_cost, split_bw)
+    for response in responses:
+        shape = response.topology
+        hops = response.comm_cost / app.total_bandwidth()
+        print(f"{shape.width}x{shape.height:>3} {response.comm_cost:>7.0f} "
+              f"{response.min_bw_single:>14.0f} {response.min_bw_split:>13.0f} "
+              f"{hops:>9.2f}")
+        if best is None or response.comm_cost < best.comm_cost:
+            best = response
 
     assert best is not None
-    (bw_, bh_), cost, split_bw = best
-    print(f"\nbest shape: {bw_}x{bh_} at cost {cost:.0f}; with traffic "
-          f"splitting the links only need {split_bw:.0f} MB/s")
+    shape = best.topology
+    print(f"\nbest shape: {shape.width}x{shape.height} at cost "
+          f"{best.comm_cost:.0f}; with traffic splitting the links only "
+          f"need {best.min_bw_split:.0f} MB/s")
 
     print("\nlink-bandwidth sweep on the best shape (single-path NMAP):")
+    sweep = [
+        MapRequest(
+            app="mpeg4",
+            mapper="nmap",
+            topology=TopologySpec("mesh", shape.width, shape.height, capacity),
+            price_bandwidth=False,
+        )
+        for capacity in (400.0, 600.0, 800.0, 1200.0)
+    ]
     mesh_cap = None
-    for capacity in (400.0, 600.0, 800.0, 1200.0):
-        mesh = NoCTopology.mesh(bw_, bh_, link_bandwidth=capacity)
-        result = nmap_single_path(app, mesh)
-        verdict = "feasible" if result.feasible else "INFEASIBLE"
+    for response in run_batch(sweep):
+        capacity = response.topology.link_bandwidth
+        verdict = "feasible" if response.feasible else "INFEASIBLE"
         print(f"  {capacity:>7.0f} MB/s links: {verdict}")
-        if result.feasible and mesh_cap is None:
+        if response.feasible and mesh_cap is None:
             mesh_cap = capacity
     if mesh_cap is not None:
         print(f"\ncheapest feasible uniform capacity in the sweep: "

@@ -10,10 +10,10 @@ Figure 5(c) curves.
 Run:  python examples/dsp_noc_simulation.py
 """
 
+from repro.api import get_mapper
 from repro.apps.dsp import dsp_filter, dsp_mesh
 from repro.design import compile_design, emit_netlist
 from repro.graphs.commodities import build_commodities
-from repro.mapping import nmap_with_splitting
 from repro.routing.min_path import min_path_routing
 from repro.routing.split import solve_min_congestion
 from repro.simnoc import SimConfig, simulate_mapping
@@ -24,7 +24,9 @@ def main() -> None:
     mesh = dsp_mesh(link_bandwidth=500.0)
 
     # NMAPTM keeps split paths at equal (minimum) hop counts — low jitter.
-    mapped = nmap_with_splitting(app, mesh, quadrant_only=True)
+    # The custom 2x3 mesh comes from dsp_mesh, so this uses the registry's
+    # object-level entry point rather than a serialized request.
+    mapped = get_mapper("nmap-tm").run(app, mesh)
     print("DSP mapping (2x3 mesh):")
     print(mapped.mapping.render())
 

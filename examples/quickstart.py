@@ -1,44 +1,47 @@
 #!/usr/bin/env python3
-"""Quickstart: map a video decoder onto a mesh NoC with NMAP.
+"""Quickstart: map a video decoder onto a NoC through the typed API.
 
 Covers the core loop of the library in ~30 lines:
 
-1. pick an application core graph (the paper's VOPD decoder),
-2. build a mesh NoC topology,
-3. run NMAP (single minimum-path routing),
-4. inspect cost, placement and link bandwidth needs.
+1. build a :class:`repro.api.MapRequest` (the paper's VOPD decoder, NMAP),
+2. run it through the facade — the same front door the CLI uses,
+3. inspect cost, placement and link bandwidth needs on the typed response,
+4. round-trip the response through JSON (cache it, log it, serve it).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.apps import vopd
-from repro.graphs import NoCTopology
-from repro.mapping import nmap_single_path
-from repro.metrics import average_hop_count, min_bandwidth_min_path, min_bandwidth_split
+import json
+
+from repro.api import MapRequest, MapResponse, TopologySpec, rebuild_mapping, run
 
 
 def main() -> None:
-    app = vopd()
-    print(f"application : {app.name} — {app.num_cores} cores, "
-          f"{app.num_flows} flows, {app.total_bandwidth():.0f} MB/s total")
+    request = MapRequest(
+        app="vopd",
+        mapper="nmap",
+        topology=TopologySpec.parse("mesh:4x4", link_bandwidth=1000.0),
+    )
+    response = run(request)
 
-    mesh = NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=1000.0)
-    print(f"topology    : {mesh.width}x{mesh.height} mesh, "
-          f"{mesh.min_link_bandwidth():.0f} MB/s per link")
-
-    result = nmap_single_path(app, mesh)
-    print(f"\nNMAP communication cost : {result.comm_cost:.0f} (hops x MB/s)")
-    print(f"bandwidth feasible      : {result.feasible}")
-    print(f"average hop count       : {average_hop_count(result.mapping):.2f}")
+    print(f"application : {response.app_name}")
+    print(f"topology    : {response.topology.describe()}, "
+          f"{response.topology.link_bandwidth:.0f} MB/s per link")
+    print(f"\nNMAP communication cost : {response.comm_cost:.0f} (hops x MB/s)")
+    print(f"bandwidth feasible      : {response.feasible}")
     print("\nplacement (mesh grid):")
-    print(result.mapping.render())
+    print(rebuild_mapping(response).render())
 
-    single_bw, _ = min_bandwidth_min_path(result.mapping)
-    split_bw, _ = min_bandwidth_split(result.mapping)
-    print(f"\nminimum link bandwidth needed:")
-    print(f"  single minimum-path routing : {single_bw:.0f} MB/s")
-    print(f"  split-traffic routing       : {split_bw:.0f} MB/s "
-          f"({single_bw / split_bw:.2f}x saving)")
+    print("\nminimum link bandwidth needed:")
+    print(f"  single minimum-path routing : {response.min_bw_single:.0f} MB/s")
+    print(f"  split-traffic routing       : {response.min_bw_split:.0f} MB/s "
+          f"({response.min_bw_single / response.min_bw_split:.2f}x saving)")
+
+    # Responses serialize losslessly — what a cache, a log, or a mapping
+    # service would store and replay.
+    payload = json.dumps(response.to_dict())
+    assert MapResponse.from_dict(json.loads(payload)) == response
+    print(f"\nresponse round-trips through JSON ({len(payload)} bytes)")
 
 
 if __name__ == "__main__":

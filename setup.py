@@ -19,4 +19,9 @@ setup(
         "numpy>=1.22",
         "networkx>=2.6",
     ],
+    entry_points={
+        "console_scripts": [
+            "nmap-noc=repro.cli:main",
+        ],
+    },
 )

@@ -1,0 +1,87 @@
+"""``repro.api`` — the typed request/response facade over the library.
+
+Everything the CLI, experiments, benchmarks and examples do goes through
+this package:
+
+* :class:`~repro.api.specs.MapRequest` / :class:`~repro.api.specs
+  .MapResponse` and :class:`~repro.api.specs.SimRequest` /
+  :class:`~repro.api.specs.SimResponse` — frozen, JSON-round-trippable,
+  schema-versioned payloads.
+* :func:`~repro.api.registry.list_mappers` / :func:`~repro.api.registry
+  .get_mapper` — the mapper registry algorithms join with one
+  ``@register_mapper`` decorator.
+* :func:`~repro.api.engine.run` / :func:`~repro.api.engine.run_batch` —
+  the execution engine (thread-pool fan-out for batches).
+
+Quick tour::
+
+    from repro.api import MapRequest, TopologySpec, run
+
+    response = run(MapRequest(app="vopd", mapper="nmap",
+                              topology=TopologySpec.parse("torus:4x4")))
+    payload = response.to_dict()          # cache / log / serve it
+"""
+
+from repro.api.engine import (
+    execute_map,
+    rebuild_mapping,
+    resolve_app,
+    run,
+    run_batch,
+    run_map,
+    run_sim,
+)
+from repro.api.options import (
+    AnnealingOptions,
+    GmapOptions,
+    MapperOptions,
+    NmapOptions,
+    NmapSplitOptions,
+    PbbOptions,
+    PmapOptions,
+)
+from repro.api.registry import (
+    MapperEntry,
+    get_mapper,
+    list_mappers,
+    mapper_entries,
+    parse_option_assignments,
+    register_mapper,
+)
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    MapRequest,
+    MapResponse,
+    SimRequest,
+    SimResponse,
+    TopologySpec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AnnealingOptions",
+    "GmapOptions",
+    "MapperEntry",
+    "MapperOptions",
+    "MapRequest",
+    "MapResponse",
+    "NmapOptions",
+    "NmapSplitOptions",
+    "PbbOptions",
+    "PmapOptions",
+    "SimRequest",
+    "SimResponse",
+    "TopologySpec",
+    "execute_map",
+    "get_mapper",
+    "list_mappers",
+    "mapper_entries",
+    "parse_option_assignments",
+    "rebuild_mapping",
+    "register_mapper",
+    "resolve_app",
+    "run",
+    "run_batch",
+    "run_map",
+    "run_sim",
+]

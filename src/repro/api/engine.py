@@ -1,0 +1,181 @@
+"""Request execution: the single front door every surface calls through.
+
+``run()`` turns a typed request into a typed response; ``run_batch()`` fans
+a list of requests over a thread pool — the shape the experiment runner,
+the benchmark harness and the CLI ``compare`` subcommand all share instead
+of private loops.  Threads (not processes) because each job spends its time
+in numpy kernels and LP solves on its own private graph objects, and
+requests stay cheap to ship.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.api.registry import get_mapper
+from repro.api.specs import (
+    MapRequest,
+    MapResponse,
+    SimRequest,
+    SimResponse,
+)
+from repro.apps import get_app
+from repro.errors import ApiError
+from repro.graphs.commodities import build_commodities
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.io import core_graph_from_dict, load_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import Mapping, MappingResult
+from repro.metrics.bandwidth import min_bandwidth_min_path, min_bandwidth_split
+from repro.routing.dimension_ordered import xy_routing
+from repro.routing.min_path import min_path_routing
+from repro.simnoc import SimConfig, simulate_mapping
+
+
+def resolve_app(spec: str | dict) -> CoreGraph:
+    """Resolve a request's ``app`` field: name, JSON path or inline payload."""
+    if isinstance(spec, dict):
+        return core_graph_from_dict(spec)
+    if spec.endswith(".json") or "/" in spec:
+        return load_core_graph(Path(spec))
+    return get_app(spec)
+
+
+def execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult]:
+    """Run a map request at the object level (no serialization).
+
+    This is the core :func:`run_map` wraps; callers that need the live
+    :class:`~repro.mapping.base.Mapping`/routing objects (the ``design``
+    and ``simulate`` surfaces, custom experiments) use it directly.
+    """
+    app = resolve_app(request.app)
+    topology = request.topology.build(app)
+    entry = get_mapper(request.mapper)
+    result = entry.run(app, topology, request.resolved_options())
+    return topology, result
+
+
+def _build_map_response(
+    request: MapRequest,
+    topology: NoCTopology,
+    result: MappingResult,
+    price_bandwidth: bool,
+) -> MapResponse:
+    """The one place a MappingResult becomes a serializable response."""
+    min_bw_single = min_bw_split = None
+    if price_bandwidth and result.feasible:
+        min_bw_single = min_bandwidth_min_path(result.mapping)[0]
+        min_bw_split = min_bandwidth_split(result.mapping)[0]
+    return MapResponse(
+        request=request,
+        app_name=result.mapping.core_graph.name,
+        algorithm=result.algorithm,
+        topology=request.topology.resolved_for(topology),
+        comm_cost=result.comm_cost,
+        feasible=result.feasible,
+        placement=result.mapping.placement,
+        min_bw_single=min_bw_single,
+        min_bw_split=min_bw_split,
+        stats=dict(result.stats),
+    )
+
+
+def run_map(request: MapRequest) -> MapResponse:
+    """Execute one mapping request and package the serializable response."""
+    topology, result = execute_map(request)
+    return _build_map_response(request, topology, result, request.price_bandwidth)
+
+
+def run_sim(request: SimRequest) -> SimResponse:
+    """Execute one simulation request (map, route, simulate, summarize)."""
+    topology, result = execute_map(request.map_request)
+    mapping = result.mapping
+    commodities = build_commodities(mapping.core_graph, mapping)
+    if request.routing == "xy":
+        routing = xy_routing(topology, commodities)
+    elif request.routing == "min-path":
+        routing = min_path_routing(topology, commodities)
+    elif result.routing is not None and request.map_request.mapper.startswith("nmap-t"):
+        # The split variants' own fractional routing is the point of those
+        # mappers; everything else is priced with minimum paths.
+        routing = result.routing
+    else:
+        routing = min_path_routing(topology, commodities)
+    config = SimConfig(
+        warmup_cycles=request.warmup_cycles,
+        measure_cycles=request.measure_cycles,
+        drain_cycles=request.drain_cycles,
+        mean_burst_packets=request.mean_burst_packets,
+        seed=request.sim_seed,
+    )
+    report = simulate_mapping(topology, commodities, routing, config)
+    stats = report.stats
+    # Bandwidth pricing is skipped here regardless of the map request's
+    # flag: the simulation itself is the bandwidth evidence.
+    map_response = _build_map_response(
+        request.map_request, topology, result, price_bandwidth=False
+    )
+    return SimResponse(
+        request=request,
+        map_response=map_response,
+        packets_measured=stats.count,
+        latency_mean=stats.mean,
+        latency_mean_network=stats.mean_network,
+        latency_p50=stats.p50,
+        latency_p95=stats.p95,
+        latency_p99=stats.p99,
+        latency_max=stats.maximum,
+        packets_created=report.packets_created,
+        packets_delivered=report.packets_delivered,
+        cycles=report.cycles,
+        link_utilization={
+            f"{src}->{dst}": utilization
+            for (src, dst), utilization in report.link_utilization.items()
+        },
+    )
+
+
+def run(request: MapRequest | SimRequest) -> MapResponse | SimResponse:
+    """Dispatch one request to its executor by payload type."""
+    if isinstance(request, MapRequest):
+        return run_map(request)
+    if isinstance(request, SimRequest):
+        return run_sim(request)
+    raise ApiError(f"cannot run a {type(request).__name__}")
+
+
+def run_batch(
+    requests: list[MapRequest | SimRequest],
+    workers: int | None = None,
+) -> list[MapResponse | SimResponse]:
+    """Run many requests concurrently; responses keep request order.
+
+    Args:
+        requests: any mix of map and sim requests.
+        workers: thread count; defaults to ``min(len(requests), cpu_count)``
+            and degrades to serial execution for empty/singleton batches.
+    """
+    if not requests:
+        return []
+    if workers is None:
+        workers = min(len(requests), os.cpu_count() or 1)
+    if workers < 1:
+        raise ApiError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(requests) == 1:
+        return [run(request) for request in requests]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run, requests))
+
+
+def rebuild_mapping(response: MapResponse) -> Mapping:
+    """Reconstruct the live :class:`Mapping` a response describes.
+
+    The response's placement plus the resolved topology are a complete
+    description, so cached/logged responses can be rehydrated for
+    rendering, re-routing or simulation without re-running the mapper.
+    """
+    app = resolve_app(response.request.app)
+    topology = response.topology.build(app)
+    return Mapping(app, topology, response.placement)

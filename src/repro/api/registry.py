@@ -1,0 +1,211 @@
+"""The mapper registry: one catalogue of mapping algorithms for all surfaces.
+
+Algorithms self-register at import time via the :func:`register_mapper`
+decorator placed on their defining module (so adding an algorithm is one
+decorator, not edits to N hard-coded tuples).  The CLI, the experiment
+runner, the benchmark harness and the batch engine all resolve algorithms
+here; none of them carries its own dispatch table any more.
+
+This module deliberately imports nothing from :mod:`repro.mapping` at the
+top level — the mapping modules import *us* to register themselves, and the
+registry pulls them in lazily the first time a lookup happens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.api.options import MapperOptions
+from repro.errors import ApiError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.core_graph import CoreGraph
+    from repro.graphs.topology import NoCTopology
+    from repro.mapping.base import MappingResult
+
+
+@dataclass(frozen=True)
+class MapperEntry:
+    """One registered mapping algorithm.
+
+    Attributes:
+        name: public registry key (e.g. ``"nmap-tm"``).
+        fn: the algorithm callable ``fn(app, topology, **kwargs)``.
+        options_type: dataclass of user-tunable keyword arguments.
+        fixed: keyword arguments pinned by the registration (e.g. the
+            quadrant mode that distinguishes ``nmap-tm`` from ``nmap-ta``).
+        summary: one-line description for ``list-mappers`` output.
+    """
+
+    name: str
+    fn: Callable[..., "MappingResult"]
+    options_type: type[MapperOptions]
+    fixed: tuple[tuple[str, Any], ...]
+    summary: str
+
+    def default_options(self) -> MapperOptions:
+        return self.options_type()
+
+    @property
+    def seedable(self) -> bool:
+        """True when the algorithm accepts a ``seed`` option."""
+        return self.options_type().seedable
+
+    def options_from_dict(self, payload: dict[str, Any] | None) -> MapperOptions:
+        """Validated options from a JSON-style dict (None -> defaults)."""
+        if payload is None:
+            return self.options_type()
+        return self.options_type.from_dict(payload)
+
+    def coerce_options(self, options: MapperOptions | None) -> MapperOptions:
+        """Validate a typed options instance against this entry.
+
+        Raises:
+            ApiError: when ``options`` is of another mapper's type.
+        """
+        if options is None:
+            return self.options_type()
+        if type(options) is not self.options_type:
+            raise ApiError(
+                f"mapper {self.name!r} takes {self.options_type.__name__}, "
+                f"got {type(options).__name__}"
+            )
+        options.validate()
+        return options
+
+    def run(
+        self,
+        app: "CoreGraph",
+        topology: "NoCTopology",
+        options: MapperOptions | None = None,
+    ) -> "MappingResult":
+        """Invoke the algorithm with validated options."""
+        opts = self.coerce_options(options)
+        kwargs = opts.to_dict()
+        kwargs.update(self.fixed)
+        return self.fn(app, topology, **kwargs)
+
+
+_REGISTRY: dict[str, MapperEntry] = {}
+
+#: Presentation order for surfaces that list mappers (the paper's order:
+#: NMAP variants first, then the compared baselines, then extensions).
+#: Registered names missing from this list sort after it, alphabetically.
+_CANONICAL_ORDER = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
+
+
+def register_mapper(
+    name: str,
+    *,
+    options: type[MapperOptions],
+    fixed: dict[str, Any] | None = None,
+    summary: str = "",
+) -> Callable[[Callable[..., "MappingResult"]], Callable[..., "MappingResult"]]:
+    """Class-decorator factory registering a mapping algorithm.
+
+    The decorated function is returned unchanged — registration is a side
+    effect, so the plain functional API (``nmap_single_path(app, mesh)``)
+    keeps working untouched.
+
+    Raises:
+        ApiError: when ``name`` is already registered.
+    """
+
+    def decorate(fn: Callable[..., "MappingResult"]) -> Callable[..., "MappingResult"]:
+        if name in _REGISTRY:
+            raise ApiError(f"mapper {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = MapperEntry(
+            name=name,
+            fn=fn,
+            options_type=options,
+            fixed=tuple(sorted((fixed or {}).items())),
+            summary=summary or (doc[0] if doc else ""),
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    """Import the mapping package so its decorators have run."""
+    import repro.mapping  # noqa: F401  (registration side effect)
+
+
+def _sort_key(name: str) -> tuple[int, str]:
+    try:
+        return (_CANONICAL_ORDER.index(name), name)
+    except ValueError:
+        return (len(_CANONICAL_ORDER), name)
+
+
+def list_mappers() -> tuple[str, ...]:
+    """All registered mapper names, in presentation order."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY, key=_sort_key))
+
+
+def mapper_entries() -> list[MapperEntry]:
+    """All registered entries, in :func:`list_mappers` order."""
+    return [_REGISTRY[name] for name in list_mappers()]
+
+
+def get_mapper(name: str) -> MapperEntry:
+    """Resolve one mapper by name.
+
+    Raises:
+        ApiError: for unknown names; the message lists valid ones.
+    """
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ApiError(
+            f"unknown mapper {name!r}; known: {', '.join(list_mappers())}"
+        ) from None
+
+
+def parse_option_assignments(pairs: Iterable[str]) -> dict[str, Any]:
+    """Parse CLI-style ``key=value`` strings into an options payload.
+
+    Values are decoded as JSON when possible (``3``, ``0.95``, ``true``,
+    ``null``) and fall back to bare strings; ``none`` is accepted as an
+    alias for ``null`` so shell users need no quoting tricks.
+
+    Raises:
+        ApiError: on entries without ``=``.
+    """
+    payload: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ApiError(f"mapper option must look like key=value, got {pair!r}")
+        lowered = raw.strip().lower()
+        if lowered in {"none", "null"}:
+            payload[key] = None
+        elif lowered == "true":
+            payload[key] = True
+        elif lowered == "false":
+            payload[key] = False
+        else:
+            try:
+                payload[key] = json.loads(raw)
+            except json.JSONDecodeError:
+                payload[key] = raw
+    return payload
+
+
+def with_seed(options: MapperOptions, seed: int) -> MapperOptions:
+    """A copy of ``options`` with its ``seed`` field replaced.
+
+    Raises:
+        ApiError: when the options carry no seed (deterministic algorithm).
+    """
+    if not options.seedable:
+        raise ApiError(
+            f"{type(options).__name__} has no seed — the algorithm is deterministic"
+        )
+    return dataclasses.replace(options, seed=seed)

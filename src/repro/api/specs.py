@@ -1,0 +1,511 @@
+"""Typed, JSON-round-trippable request/response payloads (the API facade).
+
+Every surface of the repository (CLI, experiments, benchmarks, examples,
+and any future service) speaks these four payloads:
+
+* :class:`MapRequest` -> :class:`MapResponse` — run one mapping algorithm.
+* :class:`SimRequest` -> :class:`SimResponse` — map, then simulate packets.
+
+All of them are frozen dataclasses with ``to_dict``/``from_dict`` that
+round-trip losslessly through ``json.dumps``; payloads carry a schema
+version so cached/logged responses stay readable as the format evolves.
+Option payloads are validated when the request is *built* (typos fail
+before a batch fans out, not minutes into it).
+
+:class:`TopologySpec` is the serializable description of the NoC — it
+parses the CLI's ``--topology`` strings (``"mesh:4x4"``, ``"torus:8x8"``,
+``"auto"``) and builds the concrete :class:`~repro.graphs.topology
+.NoCTopology` on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.api.options import MapperOptions
+from repro.api.registry import get_mapper, with_seed
+from repro.errors import ApiError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+
+#: Version stamped into every serialized payload.
+SCHEMA_VERSION = 1
+
+_TOPOLOGY_KINDS = ("auto", "mesh", "torus")
+
+
+def _encode_float(value: float) -> float | str:
+    """JSON-safe float: infinities become the string ``"inf"``."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value: Any) -> float:
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ApiError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _check_envelope(payload: Any, kind: str) -> dict[str, Any]:
+    """Validate the ``schema``/``kind`` envelope shared by every payload."""
+    if not isinstance(payload, dict):
+        raise ApiError(f"{kind} payload must be a dict, got {type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ApiError(
+            f"unsupported {kind} schema {schema!r}; this build reads "
+            f"schema {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise ApiError(f"expected kind {kind!r}, got {payload.get('kind')!r}")
+    return payload
+
+
+def _required(data: dict[str, Any], key: str, kind: str) -> Any:
+    """A required payload field, or :class:`ApiError` naming what's missing."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ApiError(f"{kind} payload is missing required field {key!r}") from None
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Serializable description of the NoC topology to map onto.
+
+    Attributes:
+        kind: ``"auto"`` (smallest near-square mesh fitting the app),
+            ``"mesh"`` or ``"torus"``.
+        width/height: grid dimensions; required unless ``kind == "auto"``.
+        link_bandwidth: uniform link capacity in MB/s; None defaults to the
+            application's total bandwidth (every routing feasible — the
+            paper's pure-cost comparison regime).
+    """
+
+    kind: str = "auto"
+    width: int | None = None
+    height: int | None = None
+    link_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TOPOLOGY_KINDS:
+            raise ApiError(
+                f"topology kind must be one of {', '.join(_TOPOLOGY_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "auto":
+            if self.width is not None or self.height is not None:
+                raise ApiError("auto topology must not carry explicit dimensions")
+        else:
+            if self.width is None or self.height is None:
+                raise ApiError(f"{self.kind} topology needs explicit width and height")
+            if self.width < 1 or self.height < 1:
+                raise ApiError(
+                    f"topology dimensions must be >= 1, got {self.width}x{self.height}"
+                )
+        if self.link_bandwidth is not None and self.link_bandwidth <= 0:
+            raise ApiError(
+                f"link bandwidth must be positive, got {self.link_bandwidth}"
+            )
+
+    @classmethod
+    def parse(cls, text: str, link_bandwidth: float | None = None) -> "TopologySpec":
+        """Parse a CLI-style spec string.
+
+        Accepted forms: ``"auto"``, ``"mesh:4x4"``, ``"torus:8x8"`` and the
+        bare ``"4x4"`` shorthand (a mesh, for backward compatibility with
+        the old ``--mesh`` flag).
+        """
+        spec = text.strip().lower()
+        if spec == "auto":
+            return cls(kind="auto", link_bandwidth=link_bandwidth)
+        kind, sep, dims = spec.partition(":")
+        if not sep:
+            kind, dims = "mesh", spec
+        if kind not in ("mesh", "torus"):
+            raise ApiError(
+                f"topology must look like 'auto', 'mesh:4x4' or 'torus:8x8', "
+                f"got {text!r}"
+            )
+        width_str, sep, height_str = dims.partition("x")
+        try:
+            width, height = int(width_str), int(height_str)
+        except ValueError:
+            raise ApiError(
+                f"topology dimensions must look like '4x4', got {dims!r}"
+            ) from None
+        if not sep:
+            raise ApiError(f"topology dimensions must look like '4x4', got {dims!r}")
+        return cls(kind=kind, width=width, height=height, link_bandwidth=link_bandwidth)
+
+    def describe(self) -> str:
+        """The canonical spec string (inverse of :meth:`parse`)."""
+        if self.kind == "auto":
+            return "auto"
+        return f"{self.kind}:{self.width}x{self.height}"
+
+    def build(self, app: CoreGraph) -> NoCTopology:
+        """Materialize the concrete topology for ``app``.
+
+        Raises:
+            ApiError: when the grid is too small for the application.
+        """
+        bandwidth = (
+            self.link_bandwidth
+            if self.link_bandwidth is not None
+            else app.total_bandwidth()
+        )
+        if self.kind == "auto":
+            return NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=bandwidth)
+        assert self.width is not None and self.height is not None
+        if self.width * self.height < app.num_cores:
+            raise ApiError(
+                f"{self.describe()} has {self.width * self.height} nodes but "
+                f"{app.name!r} needs {app.num_cores}"
+            )
+        if self.kind == "torus":
+            return NoCTopology.torus_grid(
+                self.width, self.height, link_bandwidth=bandwidth
+            )
+        return NoCTopology.mesh(self.width, self.height, link_bandwidth=bandwidth)
+
+    def resolved_for(self, topology: NoCTopology) -> "TopologySpec":
+        """This spec with ``auto`` pinned to the concrete topology built."""
+        return TopologySpec(
+            kind="torus" if topology.torus else "mesh",
+            width=topology.width,
+            height=topology.height,
+            link_bandwidth=topology.min_link_bandwidth(),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "width": self.width,
+            "height": self.height,
+            "link_bandwidth": self.link_bandwidth,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TopologySpec":
+        if not isinstance(payload, dict):
+            raise ApiError(f"topology payload must be a dict, got {payload!r}")
+        unknown = sorted(set(payload) - {"kind", "width", "height", "link_bandwidth"})
+        if unknown:
+            raise ApiError(f"unknown topology field(s): {', '.join(unknown)}")
+        return cls(
+            kind=payload.get("kind", "auto"),
+            width=payload.get("width"),
+            height=payload.get("height"),
+            link_bandwidth=payload.get("link_bandwidth"),
+        )
+
+
+# ----------------------------------------------------------------------
+# mapping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MapRequest:
+    """One mapping job: application x topology x algorithm (+ options).
+
+    Attributes:
+        app: registered application name (``"vopd"``), a core-graph JSON
+            path (anything containing ``/`` or ending in ``.json``), or an
+            inline core-graph payload (the :func:`repro.graphs.io
+            .core_graph_to_dict` format) for applications that exist only
+            in memory — generated graphs, user uploads.
+        mapper: registry name of the algorithm (see ``list_mappers()``).
+        topology: the NoC to map onto.
+        options: typed per-algorithm options; None means defaults.  The
+            instance must match the mapper's registered options class.
+        seed: convenience override for stochastic mappers; folded into the
+            options' ``seed`` field at run time and rejected for
+            deterministic algorithms.
+        price_bandwidth: also compute the minimum feasible uniform link
+            bandwidth (single-path and split) for the final mapping.  Split
+            pricing solves an LP; batch callers that only need costs turn
+            this off.
+        tag: opaque caller label, carried through to the response (batch
+            correlation).
+    """
+
+    app: str | dict[str, Any]
+    mapper: str = "nmap"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    options: MapperOptions | None = None
+    seed: int | None = None
+    price_bandwidth: bool = True
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.app, dict):
+            if self.app.get("kind") != "core-graph":
+                raise ApiError(
+                    "inline app payload must have kind 'core-graph' "
+                    "(see repro.graphs.io.core_graph_to_dict)"
+                )
+        elif not isinstance(self.app, str) or not self.app:
+            raise ApiError(f"app must be a name, path or payload, got {self.app!r}")
+        entry = get_mapper(self.mapper)  # raises ApiError for unknown names
+        entry.coerce_options(self.options)
+        if self.seed is not None and not entry.seedable:
+            raise ApiError(
+                f"mapper {self.mapper!r} is deterministic and takes no seed"
+            )
+
+    def resolved_options(self) -> MapperOptions:
+        """The options this request runs with (defaults + seed applied)."""
+        entry = get_mapper(self.mapper)
+        options = entry.coerce_options(self.options)
+        if self.seed is not None:
+            options = with_seed(options, self.seed)
+        return options
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "map-request",
+            "app": self.app,
+            "mapper": self.mapper,
+            "topology": self.topology.to_dict(),
+            "options": None if self.options is None else self.options.to_dict(),
+            "seed": self.seed,
+            "price_bandwidth": self.price_bandwidth,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MapRequest":
+        data = _check_envelope(payload, "map-request")
+        mapper = data.get("mapper", "nmap")
+        entry = get_mapper(mapper)
+        raw_options = data.get("options")
+        return cls(
+            app=_required(data, "app", "map-request"),
+            mapper=mapper,
+            topology=TopologySpec.from_dict(data.get("topology", {"kind": "auto"})),
+            options=None if raw_options is None else entry.options_from_dict(raw_options),
+            seed=data.get("seed"),
+            price_bandwidth=data.get("price_bandwidth", True),
+            tag=data.get("tag"),
+        )
+
+
+@dataclass(frozen=True)
+class MapResponse:
+    """Outcome of one :class:`MapRequest`, fully serializable.
+
+    Attributes:
+        request: the request that produced this response.
+        app_name: the application's own name (may differ from the request's
+            ``app`` when that was a file path).
+        algorithm: the algorithm label reported by the mapper.
+        topology: the *resolved* topology (``auto`` pinned to concrete
+            dimensions and bandwidth).
+        comm_cost: Equation 7 cost; infinity when infeasible.
+        feasible: whether the backing routing satisfied Inequality 3.
+        placement: core name -> node id of the final mapping.
+        min_bw_single/min_bw_split: minimum feasible uniform link bandwidth
+            under single-minimum-path / split-traffic routing; None when
+            the request skipped pricing or the mapping was infeasible.
+        stats: algorithm counters (swaps tried, LPs solved, ...).
+    """
+
+    request: MapRequest
+    app_name: str
+    algorithm: str
+    topology: TopologySpec
+    comm_cost: float
+    feasible: bool
+    placement: dict[str, int]
+    min_bw_single: float | None = None
+    min_bw_split: float | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "map-response",
+            "request": self.request.to_dict(),
+            "app_name": self.app_name,
+            "algorithm": self.algorithm,
+            "topology": self.topology.to_dict(),
+            "comm_cost": _encode_float(self.comm_cost),
+            "feasible": self.feasible,
+            "placement": dict(self.placement),
+            "min_bw_single": self.min_bw_single,
+            "min_bw_split": self.min_bw_split,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MapResponse":
+        data = _check_envelope(payload, "map-response")
+        return cls(
+            request=MapRequest.from_dict(_required(data, "request", "map-response")),
+            app_name=_required(data, "app_name", "map-response"),
+            algorithm=_required(data, "algorithm", "map-response"),
+            topology=TopologySpec.from_dict(_required(data, "topology", "map-response")),
+            comm_cost=_decode_float(_required(data, "comm_cost", "map-response")),
+            feasible=bool(_required(data, "feasible", "map-response")),
+            placement={
+                str(core): int(node)
+                for core, node in _required(data, "placement", "map-response").items()
+            },
+            min_bw_single=data.get("min_bw_single"),
+            min_bw_split=data.get("min_bw_split"),
+            stats=dict(data.get("stats", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimRequest:
+    """One packet-level simulation job over a mapped application.
+
+    Attributes:
+        map_request: how to produce the mapping to simulate.
+        measure_cycles: cycles over which latencies are recorded.
+        warmup_cycles/drain_cycles: simulator ramp-up / flush windows.
+        mean_burst_packets: traffic burstiness (1.0 disables).
+        sim_seed: traffic-generation RNG seed (independent of the mapper's
+            ``seed``).
+        routing: ``"auto"`` uses the mapper's own routing for split
+            variants and load-balanced minimum paths otherwise;
+            ``"min-path"`` and ``"xy"`` force those routers.
+    """
+
+    map_request: MapRequest
+    measure_cycles: int = 20_000
+    warmup_cycles: int = 2_000
+    drain_cycles: int = 5_000
+    mean_burst_packets: float = 4.0
+    sim_seed: int = 1
+    routing: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("auto", "min-path", "xy"):
+            raise ApiError(
+                f"routing must be auto, min-path or xy, got {self.routing!r}"
+            )
+        for name in ("measure_cycles", "warmup_cycles", "drain_cycles"):
+            if getattr(self, name) < 0:
+                raise ApiError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.measure_cycles < 1:
+            raise ApiError(f"measure_cycles must be >= 1, got {self.measure_cycles}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "sim-request",
+            "map_request": self.map_request.to_dict(),
+            "measure_cycles": self.measure_cycles,
+            "warmup_cycles": self.warmup_cycles,
+            "drain_cycles": self.drain_cycles,
+            "mean_burst_packets": self.mean_burst_packets,
+            "sim_seed": self.sim_seed,
+            "routing": self.routing,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimRequest":
+        data = _check_envelope(payload, "sim-request")
+        return cls(
+            map_request=MapRequest.from_dict(
+                _required(data, "map_request", "sim-request")
+            ),
+            measure_cycles=data.get("measure_cycles", 20_000),
+            warmup_cycles=data.get("warmup_cycles", 2_000),
+            drain_cycles=data.get("drain_cycles", 5_000),
+            mean_burst_packets=data.get("mean_burst_packets", 4.0),
+            sim_seed=data.get("sim_seed", 1),
+            routing=data.get("routing", "auto"),
+        )
+
+
+@dataclass(frozen=True)
+class SimResponse:
+    """Latency/utilization summary of one :class:`SimRequest`.
+
+    ``link_utilization`` keys directed links as ``"src->dst"`` strings so
+    the payload stays plain JSON.
+    """
+
+    request: SimRequest
+    map_response: MapResponse
+    packets_measured: int
+    latency_mean: float
+    latency_mean_network: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    packets_created: int
+    packets_delivered: int
+    cycles: int
+    link_utilization: dict[str, float] = field(default_factory=dict)
+
+    def hottest_link(self) -> tuple[str, float]:
+        """The most utilized directed link as ``("src->dst", utilization)``."""
+        if not self.link_utilization:
+            raise ApiError("no link utilization recorded")
+        link = max(self.link_utilization, key=self.link_utilization.__getitem__)
+        return link, self.link_utilization[link]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "sim-response",
+            "request": self.request.to_dict(),
+            "map_response": self.map_response.to_dict(),
+            "packets_measured": self.packets_measured,
+            "latency_mean": self.latency_mean,
+            "latency_mean_network": self.latency_mean_network,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+            "packets_created": self.packets_created,
+            "packets_delivered": self.packets_delivered,
+            "cycles": self.cycles,
+            "link_utilization": dict(self.link_utilization),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimResponse":
+        data = _check_envelope(payload, "sim-response")
+        need = lambda key: _required(data, key, "sim-response")
+        return cls(
+            request=SimRequest.from_dict(need("request")),
+            map_response=MapResponse.from_dict(need("map_response")),
+            packets_measured=int(need("packets_measured")),
+            latency_mean=float(need("latency_mean")),
+            latency_mean_network=float(need("latency_mean_network")),
+            latency_p50=float(need("latency_p50")),
+            latency_p95=float(need("latency_p95")),
+            latency_p99=float(need("latency_p99")),
+            latency_max=float(need("latency_max")),
+            packets_created=int(need("packets_created")),
+            packets_delivered=int(need("packets_delivered")),
+            cycles=int(need("cycles")),
+            link_utilization={
+                str(k): float(v) for k, v in data.get("link_utilization", {}).items()
+            },
+        )
+
+
+def request_with_seed(request: MapRequest, seed: int | None) -> MapRequest:
+    """A copy of ``request`` with the seed replaced (None clears it)."""
+    return replace(request, seed=seed)

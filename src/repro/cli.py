@@ -1,14 +1,20 @@
 """Command-line interface: ``nmap-noc`` (or ``python -m repro.cli``).
 
+A thin shell over :mod:`repro.api` — every subcommand builds a typed
+request, hands it to the engine and formats the typed response.  The CLI
+holds no algorithm dispatch of its own; mappers come from the registry.
+
 Subcommands:
 
 * ``list-apps`` — the registered application core graphs.
-* ``map`` — map an application (built-in or JSON file) onto a mesh with a
-  chosen algorithm; prints the placement grid, cost and bandwidth figures;
-  optional JSON/DOT output.
+* ``list-mappers`` — the registered mapping algorithms and their options.
+* ``map`` — map an application (built-in or JSON file) onto a mesh/torus
+  with a chosen algorithm; prints the placement grid, cost and bandwidth
+  figures; optional JSON/DOT output.
 * ``simulate`` — run the packet-level simulator on a mapped application and
   report latency statistics.
 * ``design`` — compile the mapped NoC and emit the SystemC-style netlist.
+* ``compare`` — run several algorithms on one app; optional JSON output.
 * ``experiment`` — regenerate a paper table/figure (or ``all``).
 """
 
@@ -17,66 +23,67 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import fields
 from pathlib import Path
 
-from repro.apps import all_apps, get_app
-from repro.design import compile_design, emit_netlist
-from repro.errors import ReproError
-from repro.experiments.runner import EXPERIMENTS, render_all, run_experiment
-from repro.graphs.commodities import build_commodities
-from repro.graphs.core_graph import CoreGraph
-from repro.graphs.io import load_core_graph, mapping_to_dot
-from repro.graphs.topology import NoCTopology
-from repro.mapping import (
-    annealing_mapping,
-    gmap,
-    nmap_single_path,
-    nmap_with_splitting,
-    pbb,
-    pmap,
+from repro.api import (
+    MapRequest,
+    SimRequest,
+    TopologySpec,
+    execute_map,
+    get_mapper,
+    list_mappers,
+    mapper_entries,
+    parse_option_assignments,
+    rebuild_mapping,
+    run_batch,
+    run_map,
+    run_sim,
 )
-from repro.mapping.base import MappingResult
-from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
-from repro.routing.min_path import min_path_routing
-from repro.simnoc import SimConfig, simulate_mapping
-
-_ALGORITHMS = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
-
-
-def _load_app(spec: str) -> CoreGraph:
-    """Resolve an app name or a path to a core-graph JSON file."""
-    if spec.endswith(".json") or "/" in spec:
-        return load_core_graph(Path(spec))
-    return get_app(spec)
+from repro.apps import all_apps
+from repro.design import compile_design, emit_netlist
+from repro.errors import ApiError, ReproError
+from repro.experiments.runner import EXPERIMENTS, render_all, run_experiment
+from repro.graphs.io import mapping_to_dot
 
 
-def _build_mesh(app: CoreGraph, mesh_spec: str | None, link_bw: float | None) -> NoCTopology:
-    bandwidth = link_bw if link_bw is not None else app.total_bandwidth()
-    if mesh_spec is None:
-        return NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=bandwidth)
-    width_str, _, height_str = mesh_spec.lower().partition("x")
-    try:
-        return NoCTopology.mesh(int(width_str), int(height_str), link_bandwidth=bandwidth)
-    except ValueError:
-        raise ReproError(f"mesh must look like '4x4', got {mesh_spec!r}") from None
+def _topology_spec(args: argparse.Namespace) -> TopologySpec:
+    """The topology from ``--topology`` (or the legacy ``--mesh`` alias)."""
+    if args.topology is not None and args.mesh is not None:
+        raise ApiError("pass either --topology or --mesh, not both")
+    spec = args.topology if args.topology is not None else args.mesh
+    if spec is None:
+        return TopologySpec(link_bandwidth=args.link_bw)
+    return TopologySpec.parse(spec, link_bandwidth=args.link_bw)
 
 
-def _run_algorithm(name: str, app: CoreGraph, mesh: NoCTopology) -> MappingResult:
-    if name == "nmap":
-        return nmap_single_path(app, mesh)
-    if name == "nmap-tm":
-        return nmap_with_splitting(app, mesh, quadrant_only=True)
-    if name == "nmap-ta":
-        return nmap_with_splitting(app, mesh, quadrant_only=False)
-    if name == "pmap":
-        return pmap(app, mesh)
-    if name == "gmap":
-        return gmap(app, mesh)
-    if name == "pbb":
-        return pbb(app, mesh)
-    if name == "annealing":
-        return annealing_mapping(app, mesh)
-    raise ReproError(f"unknown algorithm {name!r}; known: {', '.join(_ALGORITHMS)}")
+def _map_request(
+    args: argparse.Namespace,
+    mapper: str | None = None,
+    price_bandwidth: bool = True,
+    seed_only_if_seedable: bool = False,
+) -> MapRequest:
+    """Build the validated :class:`MapRequest` an argv namespace describes.
+
+    ``seed_only_if_seedable`` silently drops ``--seed`` for deterministic
+    algorithms — what ``compare`` wants when seeding a mixed batch (the
+    single-mapper subcommands keep the loud rejection).
+    """
+    name = mapper if mapper is not None else args.algorithm
+    entry = get_mapper(name)
+    payload = parse_option_assignments(getattr(args, "mapper_opt", None) or [])
+    options = entry.options_from_dict(payload) if payload else None
+    seed = getattr(args, "seed", None)
+    if seed_only_if_seedable and not entry.seedable:
+        seed = None
+    return MapRequest(
+        app=args.app,
+        mapper=name,
+        topology=_topology_spec(args),
+        options=options,
+        seed=seed,
+        price_bandwidth=price_bandwidth,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -91,70 +98,75 @@ def _cmd_list_apps(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_mappers(_args: argparse.Namespace) -> int:
+    for entry in mapper_entries():
+        option_names = ", ".join(f.name for f in fields(entry.options_type)) or "-"
+        print(f"{entry.name:10s} {entry.summary}")
+        print(f"{'':10s}   options: {option_names}")
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
-    app = _load_app(args.app)
-    mesh = _build_mesh(app, args.mesh, args.link_bw)
-    result = _run_algorithm(args.algorithm, app, mesh)
-    print(f"application : {app.name} ({app.num_cores} cores, {app.num_flows} flows)")
-    print(f"mesh        : {mesh.width}x{mesh.height}, link BW {mesh.min_link_bandwidth():.0f} MB/s")
-    print(f"algorithm   : {result.algorithm}")
-    print(f"comm cost   : {result.comm_cost}")
-    print(f"feasible    : {result.feasible}")
+    response = run_map(_map_request(args))
+    spec = response.topology
+    print(f"application : {response.app_name}")
+    print(
+        f"topology    : {spec.describe()}, link BW {spec.link_bandwidth:.0f} MB/s"
+    )
+    print(f"algorithm   : {response.algorithm}")
+    print(f"comm cost   : {response.comm_cost}")
+    print(f"feasible    : {response.feasible}")
     print("placement   :")
-    print(result.mapping.render())
-    if result.feasible:
-        bw_single, _ = min_bandwidth_min_path(result.mapping)
-        bw_split, _ = min_bandwidth_split(result.mapping)
-        print(f"min link BW : {bw_single:.0f} MB/s single-path, {bw_split:.0f} MB/s split")
+    mapping = rebuild_mapping(response)
+    print(mapping.render())
+    if response.min_bw_single is not None:
+        print(
+            f"min link BW : {response.min_bw_single:.0f} MB/s single-path, "
+            f"{response.min_bw_split:.0f} MB/s split"
+        )
     if args.out_json:
-        payload = {
-            "app": app.name,
-            "mesh": [mesh.width, mesh.height],
-            "algorithm": result.algorithm,
-            "comm_cost": result.comm_cost,
-            "feasible": result.feasible,
-            "placement": result.mapping.placement,
-        }
-        Path(args.out_json).write_text(json.dumps(payload, indent=2) + "\n")
+        Path(args.out_json).write_text(
+            json.dumps(response.to_dict(), indent=2) + "\n"
+        )
         print(f"wrote {args.out_json}")
     if args.out_dot:
-        Path(args.out_dot).write_text(mapping_to_dot(mesh, result.mapping.node_contents))
+        Path(args.out_dot).write_text(
+            mapping_to_dot(mapping.topology, mapping.node_contents)
+        )
         print(f"wrote {args.out_dot}")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    app = _load_app(args.app)
-    mesh = _build_mesh(app, args.mesh, args.link_bw)
-    result = _run_algorithm(args.algorithm, app, mesh)
-    commodities = build_commodities(app, result.mapping)
-    routing = (
-        result.routing
-        if result.routing is not None and args.algorithm.startswith("nmap-t")
-        else min_path_routing(mesh, commodities)
-    )
-    config = SimConfig(
+    request = SimRequest(
+        map_request=_map_request(args, price_bandwidth=False),
         measure_cycles=args.cycles,
         mean_burst_packets=args.burst,
-        seed=args.seed,
+        sim_seed=args.sim_seed,
     )
-    report = simulate_mapping(mesh, commodities, routing, config)
-    stats = report.stats
-    print(f"packets measured : {stats.count}")
-    print(f"latency mean     : {stats.mean:.1f} cycles (network {stats.mean_network:.1f})")
-    print(f"latency p50/p95  : {stats.p50:.0f} / {stats.p95:.0f} cycles")
-    print(f"latency max      : {stats.maximum:.0f} cycles")
-    hottest = max(report.link_utilization.items(), key=lambda item: item[1])
-    print(f"hottest link     : {hottest[0][0]}->{hottest[0][1]} at {hottest[1]*100:.0f}% util")
+    response = run_sim(request)
+    print(f"packets measured : {response.packets_measured}")
+    print(
+        f"latency mean     : {response.latency_mean:.1f} cycles "
+        f"(network {response.latency_mean_network:.1f})"
+    )
+    print(
+        f"latency p50/p95  : {response.latency_p50:.0f} / "
+        f"{response.latency_p95:.0f} cycles"
+    )
+    print(f"latency max      : {response.latency_max:.0f} cycles")
+    link, utilization = response.hottest_link()
+    print(f"hottest link     : {link} at {utilization*100:.0f}% util")
     return 0
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
-    app = _load_app(args.app)
-    mesh = _build_mesh(app, args.mesh, args.link_bw)
-    result = _run_algorithm(args.algorithm, app, mesh)
-    commodities = build_commodities(app, result.mapping)
-    routing = min_path_routing(mesh, commodities)
+    from repro.graphs.commodities import build_commodities
+    from repro.routing.min_path import min_path_routing
+
+    topology, result = execute_map(_map_request(args, price_bandwidth=False))
+    commodities = build_commodities(result.mapping.core_graph, result.mapping)
+    routing = min_path_routing(topology, commodities)
     design = compile_design(result.mapping, routing)
     for key, value in design.summary().items():
         print(f"{key:20s} {value}")
@@ -169,24 +181,32 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    app = _load_app(args.app)
-    mesh = _build_mesh(app, args.mesh, args.link_bw)
+    requests = [
+        _map_request(args, mapper=name, price_bandwidth=True, seed_only_if_seedable=True)
+        for name in args.algorithms
+    ]
+    responses = run_batch(requests, workers=args.workers)
+    first = responses[0].topology
     print(
-        f"{app.name} on {mesh.width}x{mesh.height} mesh, "
-        f"link BW {mesh.min_link_bandwidth():.0f} MB/s"
+        f"{responses[0].app_name} on {first.describe()}, "
+        f"link BW {first.link_bandwidth:.0f} MB/s"
     )
-    print(f"{'algorithm':>10} {'comm cost':>10} {'feasible':>9} {'minBW(1path)':>13} {'minBW(split)':>13}")
-    for name in args.algorithms:
-        result = _run_algorithm(name, app, mesh)
-        if result.feasible:
-            single_bw, _ = min_bandwidth_min_path(result.mapping)
-            split_bw, _ = min_bandwidth_split(result.mapping)
+    print(
+        f"{'algorithm':>10} {'comm cost':>10} {'feasible':>9} "
+        f"{'minBW(1path)':>13} {'minBW(split)':>13}"
+    )
+    for name, response in zip(args.algorithms, responses):
+        if response.feasible:
             print(
-                f"{name:>10} {result.comm_cost:>10.0f} {'yes':>9} "
-                f"{single_bw:>13.0f} {split_bw:>13.0f}"
+                f"{name:>10} {response.comm_cost:>10.0f} {'yes':>9} "
+                f"{response.min_bw_single:>13.0f} {response.min_bw_split:>13.0f}"
             )
         else:
             print(f"{name:>10} {'inf':>10} {'no':>9} {'-':>13} {'-':>13}")
+    if args.out_json:
+        payload = [response.to_dict() for response in responses]
+        Path(args.out_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out_json}")
     return 0
 
 
@@ -209,23 +229,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-apps", help="list built-in application core graphs")
+    sub.add_parser("list-mappers", help="list registered mapping algorithms")
+
+    mappers = list_mappers()
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--app", required=True, help="app name or core-graph JSON path")
-        p.add_argument("--algorithm", default="nmap", choices=_ALGORITHMS)
-        p.add_argument("--mesh", default=None, help="mesh size like 4x4 (default: smallest fit)")
+        p.add_argument("--algorithm", default="nmap", choices=mappers)
+        p.add_argument(
+            "--topology",
+            default=None,
+            help="'auto', 'mesh:4x4' or 'torus:8x8' (default: smallest mesh fit)",
+        )
+        p.add_argument(
+            "--mesh",
+            default=None,
+            help="legacy alias: mesh size like 4x4 (use --topology)",
+        )
         p.add_argument("--link-bw", type=float, default=None, help="uniform link BW in MB/s")
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="seed for stochastic mappers (rejected for deterministic ones)",
+        )
+        p.add_argument(
+            "--mapper-opt",
+            action="append",
+            metavar="KEY=VALUE",
+            help="algorithm option (repeatable), e.g. --mapper-opt cooling=0.9",
+        )
 
-    p_map = sub.add_parser("map", help="map an application onto a mesh")
+    p_map = sub.add_parser("map", help="map an application onto a mesh/torus")
     add_common(p_map)
-    p_map.add_argument("--out-json", default=None, help="write mapping JSON here")
+    p_map.add_argument("--out-json", default=None, help="write the MapResponse JSON here")
     p_map.add_argument("--out-dot", default=None, help="write Graphviz DOT here")
 
     p_sim = sub.add_parser("simulate", help="simulate a mapped application")
     add_common(p_sim)
     p_sim.add_argument("--cycles", type=int, default=20_000, help="measured cycles")
     p_sim.add_argument("--burst", type=float, default=4.0, help="mean packets per burst")
-    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--sim-seed", type=int, default=1, help="traffic RNG seed")
 
     p_design = sub.add_parser("design", help="compile the NoC and emit a netlist")
     add_common(p_design)
@@ -233,13 +277,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run several algorithms on one app")
     p_cmp.add_argument("--app", required=True, help="app name or core-graph JSON path")
-    p_cmp.add_argument("--mesh", default=None, help="mesh size like 4x4")
+    p_cmp.add_argument(
+        "--topology",
+        default=None,
+        help="'auto', 'mesh:4x4' or 'torus:8x8' (default: smallest mesh fit)",
+    )
+    p_cmp.add_argument("--mesh", default=None, help="legacy alias: mesh size like 4x4")
     p_cmp.add_argument("--link-bw", type=float, default=None, help="uniform link BW in MB/s")
+    p_cmp.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for stochastic mappers in the comparison",
+    )
     p_cmp.add_argument(
         "--algorithms",
         nargs="+",
         default=["pmap", "gmap", "pbb", "nmap"],
-        choices=_ALGORITHMS,
+        choices=mappers,
+    )
+    p_cmp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread count for the comparison batch",
+    )
+    p_cmp.add_argument(
+        "--out-json",
+        default=None,
+        help="write the list of MapResponse payloads here",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -253,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "list-apps": _cmd_list_apps,
+        "list-mappers": _cmd_list_mappers,
         "map": _cmd_map,
         "simulate": _cmd_simulate,
         "design": _cmd_design,

@@ -13,6 +13,10 @@ class ReproError(Exception):
     """Base class for every exception raised by this library."""
 
 
+class ApiError(ReproError):
+    """A typed API request/response is malformed or names unknown entities."""
+
+
 class GraphError(ReproError):
     """A core graph or NoC topology graph is malformed or misused."""
 

@@ -1,10 +1,12 @@
-"""Shared experiment plumbing: result tables and text rendering."""
+"""Shared experiment plumbing: result tables, rendering, batch fan-out."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.api import MapRequest, MapResponse, MapperOptions, TopologySpec, run_batch
+from repro.errors import ApiError
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
 
@@ -74,6 +76,64 @@ def render_table(
     for note in notes:
         lines.append(f"note: {note}")
     return "\n".join(lines) + "\n"
+
+
+def map_grid(
+    apps: Sequence[str | dict],
+    mappers: Sequence[str],
+    *,
+    options: dict[str, MapperOptions] | None = None,
+    topologies: Sequence[TopologySpec] = (TopologySpec(),),
+    price_bandwidth: bool = False,
+    workers: int | None = None,
+) -> dict[tuple[int, str, str], MapResponse]:
+    """Fan one request per (app x topology x mapper) over the batch engine.
+
+    This is the shared shape of every comparison experiment: instead of
+    nested inline loops, each experiment declares its grid and indexes the
+    responses by ``(app_position, topology.describe(), mapper)``.  The
+    default ``auto`` topology with unset bandwidth reproduces the paper's
+    regime (smallest fitting mesh, every routing feasible).
+
+    Args:
+        apps: app names or inline core-graph payloads.
+        mappers: registry names to run.
+        options: optional per-mapper typed options (e.g. PBB's queue bound).
+        topologies: topology specs to cross with the apps.
+        price_bandwidth: also compute min feasible link bandwidths.
+        workers: thread count for :func:`repro.api.run_batch`.
+
+    Raises:
+        ApiError: when two topologies share a description (the response key
+            would silently collide — e.g. a bandwidth-only sweep; run those
+            as separate grids or directly through ``run_batch``).
+    """
+    descriptions = [topology.describe() for topology in topologies]
+    if len(set(descriptions)) != len(descriptions):
+        raise ApiError(
+            f"map_grid topologies must be distinguishable by describe(), "
+            f"got {descriptions}"
+        )
+    requests = [
+        MapRequest(
+            app=app,
+            mapper=mapper,
+            topology=topology,
+            options=(options or {}).get(mapper),
+            price_bandwidth=price_bandwidth,
+        )
+        for app in apps
+        for topology in topologies
+        for mapper in mappers
+    ]
+    responses = run_batch(requests, workers=workers)
+    keys = [
+        (position, topology.describe(), mapper)
+        for position in range(len(apps))
+        for topology in topologies
+        for mapper in mappers
+    ]
+    return dict(zip(keys, responses))
 
 
 def mesh_for_app(app: CoreGraph, link_bandwidth: float) -> NoCTopology:

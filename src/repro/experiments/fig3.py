@@ -7,23 +7,9 @@ NMAP and PBB track each other and beat PMAP and GMAP on every application.
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.apps import VIDEO_APPS, get_app
-from repro.experiments.common import (
-    ExperimentTable,
-    generous_link_bandwidth,
-    mesh_for_app,
-)
-from repro.mapping import gmap, nmap_single_path, pbb, pmap
-from repro.mapping.base import MappingResult
-
-ALGORITHMS: dict[str, Callable[..., MappingResult]] = {
-    "pmap": pmap,
-    "gmap": gmap,
-    "pbb": pbb,
-    "nmap": nmap_single_path,
-}
+from repro.api import PbbOptions
+from repro.apps import VIDEO_APPS
+from repro.experiments.common import ExperimentTable, map_grid
 
 
 def run_fig3(
@@ -35,7 +21,7 @@ def run_fig3(
 
     Args:
         apps: application names (defaults to the paper's six).
-        algorithms: which algorithms to run (subset for quick checks).
+        algorithms: which registered mappers to run (subset for quick checks).
         pbb_max_queue: PBB's bounded queue length.
 
     Returns:
@@ -51,17 +37,15 @@ def run_fig3(
             f"pbb max_queue = {pbb_max_queue}",
         ],
     )
-    for app_name in apps:
-        app = get_app(app_name)
-        mesh = mesh_for_app(app, generous_link_bandwidth(app))
+    grid = map_grid(
+        apps,
+        algorithms,
+        options={"pbb": PbbOptions(max_queue=pbb_max_queue)},
+    )
+    for position, app_name in enumerate(apps):
         row: list[object] = [app_name]
         for algorithm in algorithms:
-            runner = ALGORITHMS[algorithm]
-            if algorithm == "pbb":
-                result = runner(app, mesh, max_queue=pbb_max_queue)
-            else:
-                result = runner(app, mesh)
-            row.append(result.comm_cost)
+            row.append(grid[(position, "auto", algorithm)].comm_cost)
         table.rows.append(row)
     return table
 

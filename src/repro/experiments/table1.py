@@ -19,14 +19,11 @@ from __future__ import annotations
 
 from statistics import mean
 
-from repro.apps import VIDEO_APPS, get_app
-from repro.experiments.common import (
-    ExperimentTable,
-    generous_link_bandwidth,
-    mesh_for_app,
-)
-from repro.mapping import gmap, nmap_single_path, pbb, pmap
-from repro.metrics import min_bandwidth_min_path, min_bandwidth_split
+from repro.api import PbbOptions
+from repro.apps import VIDEO_APPS
+from repro.experiments.common import ExperimentTable, map_grid
+
+_BASELINES = ("pmap", "gmap", "pbb")
 
 
 def run_table1(
@@ -43,25 +40,20 @@ def run_table1(
             "paper averages: cstr 1.47, bwr 2.13",
         ],
     )
+    grid = map_grid(
+        apps,
+        _BASELINES + ("nmap",),
+        options={"pbb": PbbOptions(max_queue=pbb_max_queue)},
+        price_bandwidth=True,
+    )
     cost_ratios: list[float] = []
     bw_ratios: list[float] = []
-    for app_name in apps:
-        app = get_app(app_name)
-        mesh = mesh_for_app(app, generous_link_bandwidth(app))
-        baselines = [
-            pmap(app, mesh),
-            gmap(app, mesh),
-            pbb(app, mesh, max_queue=pbb_max_queue),
-        ]
-        nmap_result = nmap_single_path(app, mesh)
+    for position, app_name in enumerate(apps):
+        baselines = [grid[(position, "auto", name)] for name in _BASELINES]
+        nmap_response = grid[(position, "auto", "nmap")]
 
-        cstr = mean(result.comm_cost for result in baselines) / nmap_result.comm_cost
-
-        baseline_bw = mean(
-            min_bandwidth_min_path(result.mapping)[0] for result in baselines
-        )
-        nmap_split_bw, _ = min_bandwidth_split(nmap_result.mapping, quadrant_only=False)
-        bwr = baseline_bw / nmap_split_bw
+        cstr = mean(r.comm_cost for r in baselines) / nmap_response.comm_cost
+        bwr = mean(r.min_bw_single for r in baselines) / nmap_response.min_bw_split
 
         cost_ratios.append(cstr)
         bw_ratios.append(bwr)

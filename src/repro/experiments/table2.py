@@ -6,14 +6,17 @@ NMAP costs and their ratio — rising from 1.54 at 25 cores to ~1.8 at 65 in
 the paper.  The shape reproduced here: the ratio exceeds 1 and grows with
 core count, because the bounded-queue PBB explores a vanishing fraction of
 the search space while NMAP's swap refinement keeps working.
+
+The random graphs exist only in memory, so they enter the facade as inline
+core-graph payloads — the same path a service would use for uploads.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentTable
+from repro.api import PbbOptions
+from repro.experiments.common import ExperimentTable, map_grid
+from repro.graphs.io import core_graph_to_dict
 from repro.graphs.random_graphs import random_core_graph
-from repro.graphs.topology import NoCTopology
-from repro.mapping import nmap_single_path, pbb
 
 
 def run_table2(
@@ -37,14 +40,20 @@ def run_table2(
             f"pbb max_queue = {pbb_max_queue}; paper ratios: 1.54-1.85",
         ],
     )
-    for size in sizes:
-        app = random_core_graph(size, seed=seed + size)
-        mesh = NoCTopology.smallest_mesh_for(size, link_bandwidth=app.total_bandwidth())
-        pbb_result = pbb(app, mesh, max_queue=pbb_max_queue)
-        nmap_result = nmap_single_path(app, mesh)
-        ratio = pbb_result.comm_cost / nmap_result.comm_cost
+    payloads = [
+        core_graph_to_dict(random_core_graph(size, seed=seed + size))
+        for size in sizes
+    ]
+    grid = map_grid(
+        payloads,
+        ("pbb", "nmap"),
+        options={"pbb": PbbOptions(max_queue=pbb_max_queue)},
+    )
+    for position, size in enumerate(sizes):
+        pbb_cost = grid[(position, "auto", "pbb")].comm_cost
+        nmap_cost = grid[(position, "auto", "nmap")].comm_cost
         table.rows.append(
-            [size, pbb_result.comm_cost, nmap_result.comm_cost, round(ratio, 2)]
+            [size, pbb_cost, nmap_cost, round(pbb_cost / nmap_cost, 2)]
         )
     return table
 

@@ -8,15 +8,18 @@ and the table compares communication cost and minimum split-traffic link
 bandwidth.  Wrap-around links can only shorten distances, so torus cost is
 never worse — the designer's question is whether the saving justifies the
 wiring, which is exactly what the two columns quantify.
+
+Both topologies enter the facade as explicit :class:`TopologySpec` grids —
+one request per (app x topology), the same fan-out a production service
+would queue.
 """
 
 from __future__ import annotations
 
+from repro.api import TopologySpec
 from repro.apps import VIDEO_APPS, get_app
-from repro.experiments.common import ExperimentTable, generous_link_bandwidth
+from repro.experiments.common import ExperimentTable, generous_link_bandwidth, map_grid
 from repro.graphs.topology import NoCTopology
-from repro.mapping import nmap_single_path
-from repro.metrics import min_bandwidth_split
 
 
 def run_topology_explore(apps: tuple[str, ...] = VIDEO_APPS) -> ExperimentTable:
@@ -39,23 +42,28 @@ def run_topology_explore(apps: tuple[str, ...] = VIDEO_APPS) -> ExperimentTable:
     for app_name in apps:
         app = get_app(app_name)
         bandwidth = generous_link_bandwidth(app)
-        mesh = NoCTopology.smallest_mesh_for(app.num_cores, link_bandwidth=bandwidth)
-        torus = NoCTopology.torus_grid(mesh.width, mesh.height, link_bandwidth=bandwidth)
+        fitted = NoCTopology.smallest_mesh_for(app.num_cores)
+        mesh = TopologySpec("mesh", fitted.width, fitted.height, bandwidth)
+        torus = TopologySpec("torus", fitted.width, fitted.height, bandwidth)
 
-        mesh_result = nmap_single_path(app, mesh)
-        torus_result = nmap_single_path(app, torus)
-        mesh_bw, _ = min_bandwidth_split(mesh_result.mapping, quadrant_only=False)
-        torus_bw, _ = min_bandwidth_split(torus_result.mapping, quadrant_only=False)
+        grid = map_grid(
+            [app_name],
+            ("nmap",),
+            topologies=(mesh, torus),
+            price_bandwidth=True,
+        )
+        mesh_response = grid[(0, mesh.describe(), "nmap")]
+        torus_response = grid[(0, torus.describe(), "nmap")]
 
-        saving = 100.0 * (1.0 - torus_result.comm_cost / mesh_result.comm_cost)
+        saving = 100.0 * (1.0 - torus_response.comm_cost / mesh_response.comm_cost)
         table.rows.append(
             [
                 app_name,
-                mesh_result.comm_cost,
-                torus_result.comm_cost,
+                mesh_response.comm_cost,
+                torus_response.comm_cost,
                 round(saving, 1),
-                round(mesh_bw, 1),
-                round(torus_bw, 1),
+                round(mesh_response.min_bw_split, 1),
+                round(torus_response.min_bw_split, 1),
             ]
         )
     return table

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 import random
 
+from repro.api.options import AnnealingOptions
+from repro.api.registry import register_mapper
 from repro.errors import MappingError
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
@@ -28,6 +30,8 @@ from repro.metrics.comm_cost import MAXVALUE, comm_cost, swap_cost_delta
 from repro.routing.min_path import min_path_routing
 
 
+@register_mapper("annealing", options=AnnealingOptions,
+                 summary="Seeded simulated annealing over pairwise swaps (extension)")
 def annealing_mapping(
     core_graph: CoreGraph,
     topology: NoCTopology,

@@ -12,6 +12,8 @@ Figures 3 and 4 measure.
 from __future__ import annotations
 
 from repro.errors import MappingError
+from repro.api.options import GmapOptions
+from repro.api.registry import register_mapper
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
@@ -20,6 +22,8 @@ from repro.metrics.comm_cost import MAXVALUE, comm_cost
 from repro.routing.min_path import min_path_routing
 
 
+@register_mapper("gmap", options=GmapOptions,
+                 summary="Greedy mapping baseline (Hu-Marculescu UBC)")
 def gmap(core_graph: CoreGraph, topology: NoCTopology) -> MappingResult:
     """Run the greedy baseline.
 

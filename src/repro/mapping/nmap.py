@@ -27,6 +27,8 @@ routing is feasible and the check is skipped altogether.
 from __future__ import annotations
 
 from repro import fastpath
+from repro.api.options import NmapOptions
+from repro.api.registry import register_mapper
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
@@ -61,6 +63,8 @@ def _trivially_feasible(core_graph: CoreGraph, topology: NoCTopology) -> bool:
     return topology.min_link_bandwidth() >= core_graph.total_bandwidth()
 
 
+@register_mapper("nmap", options=NmapOptions,
+                 summary="NMAP with single minimum-path routing (§5)")
 def nmap_single_path(
     core_graph: CoreGraph,
     topology: NoCTopology,

@@ -23,6 +23,8 @@ bound already exceeds the best cost skip the LP.
 
 from __future__ import annotations
 
+from repro.api.options import NmapSplitOptions
+from repro.api.registry import register_mapper
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
@@ -138,3 +140,19 @@ def nmap_with_splitting(
         routing=best_routing,
         stats=stats,
     )
+
+
+# The two public split variants differ only in the pinned quadrant mode, so
+# they register the same function twice instead of defining wrappers.
+register_mapper(
+    "nmap-tm",
+    options=NmapSplitOptions,
+    fixed={"quadrant_only": True},
+    summary="NMAP with split traffic on minimum paths (NMAPTM, §6)",
+)(nmap_with_splitting)
+register_mapper(
+    "nmap-ta",
+    options=NmapSplitOptions,
+    fixed={"quadrant_only": False},
+    summary="NMAP with split traffic over all paths (NMAPTA, §6)",
+)(nmap_with_splitting)

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import heapq
 
+from repro.api.options import PbbOptions
+from repro.api.registry import register_mapper
 from repro.errors import MappingError
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
@@ -46,6 +48,8 @@ def _symmetry_nodes(topology: NoCTopology) -> list[int]:
     return result
 
 
+@register_mapper("pbb", options=PbbOptions,
+                 summary="Partial branch-and-bound baseline (Hu-Marculescu)")
 def pbb(
     core_graph: CoreGraph,
     topology: NoCTopology,

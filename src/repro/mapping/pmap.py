@@ -20,6 +20,8 @@ node is not always the globally best one.
 
 from __future__ import annotations
 
+from repro.api.options import PmapOptions
+from repro.api.registry import register_mapper
 from repro.errors import MappingError
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
@@ -53,6 +55,8 @@ def _selection_order(core_graph: CoreGraph) -> list[str]:
     return order
 
 
+@register_mapper("pmap", options=PmapOptions,
+                 summary="Two-phase frontier placement baseline (Koziris et al.)")
 def pmap(core_graph: CoreGraph, topology: NoCTopology) -> MappingResult:
     """Run the PMAP baseline.
 

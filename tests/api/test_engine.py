@@ -1,0 +1,139 @@
+"""Engine tests: request execution, batch fan-out, torus end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    MapRequest,
+    MapResponse,
+    SimRequest,
+    SimResponse,
+    TopologySpec,
+    list_mappers,
+    rebuild_mapping,
+    run,
+    run_batch,
+)
+from repro.errors import ApiError
+from repro.graphs.io import core_graph_to_dict
+
+
+class TestRunMap:
+    @pytest.mark.parametrize("name", list_mappers())
+    def test_every_mapper_round_trips_losslessly(self, name):
+        """The acceptance loop: request -> run -> to_dict -> from_dict."""
+        request = MapRequest(app="pip", mapper=name, price_bandwidth=False)
+        response = run(request)
+        rebuilt = MapResponse.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert rebuilt == response
+        assert rebuilt.request == request
+
+    def test_auto_topology_resolved_in_response(self):
+        response = run(MapRequest(app="pip", price_bandwidth=False))
+        assert response.topology.kind == "mesh"
+        assert (response.topology.width, response.topology.height) == (3, 3)
+        assert response.topology.link_bandwidth is not None
+
+    def test_torus_end_to_end(self):
+        response = run(
+            MapRequest(
+                app="vopd",
+                mapper="nmap",
+                topology=TopologySpec.parse("torus:4x4"),
+            )
+        )
+        assert response.feasible
+        assert response.topology.kind == "torus"
+        assert len(response.placement) == 16
+        # Wrap links halve worst-case distances, so the torus mapping must
+        # not cost more than the mesh one.
+        mesh = run(MapRequest(app="vopd", topology=TopologySpec.parse("mesh:4x4")))
+        assert response.comm_cost <= mesh.comm_cost
+
+    def test_bandwidth_pricing_toggle(self):
+        priced = run(MapRequest(app="pip"))
+        assert priced.min_bw_single is not None
+        assert priced.min_bw_split is not None
+        unpriced = run(MapRequest(app="pip", price_bandwidth=False))
+        assert unpriced.min_bw_single is None
+
+    def test_inline_app_payload(self, tiny_graph):
+        response = run(
+            MapRequest(app=core_graph_to_dict(tiny_graph), price_bandwidth=False)
+        )
+        assert response.app_name == "tiny"
+        assert response.feasible
+
+    def test_rebuild_mapping_matches_placement(self):
+        response = run(MapRequest(app="dsp", price_bandwidth=False))
+        mapping = rebuild_mapping(response)
+        assert mapping.placement == response.placement
+        assert mapping.is_complete
+
+    def test_seed_determinism(self):
+        first = run(MapRequest(app="pip", mapper="annealing", seed=5,
+                               price_bandwidth=False))
+        second = run(MapRequest(app="pip", mapper="annealing", seed=5,
+                                price_bandwidth=False))
+        assert first.placement == second.placement
+
+    def test_run_rejects_unknown_payload(self):
+        with pytest.raises(ApiError):
+            run("map please")
+
+
+class TestRunBatch:
+    def test_order_preserved_across_workers(self):
+        requests = [
+            MapRequest(app="pip", mapper=name, price_bandwidth=False, tag=name)
+            for name in ("nmap", "pmap", "gmap", "pbb")
+        ]
+        responses = run_batch(requests, workers=4)
+        assert [r.request.tag for r in responses] == ["nmap", "pmap", "gmap", "pbb"]
+        serial = run_batch(requests, workers=1)
+        assert [r.comm_cost for r in serial] == [r.comm_cost for r in responses]
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ApiError):
+            run_batch([MapRequest(app="pip")], workers=0)
+
+    def test_mixed_map_and_sim_requests(self):
+        map_request = MapRequest(app="dsp", price_bandwidth=False)
+        sim_request = SimRequest(map_request=map_request, measure_cycles=2000)
+        responses = run_batch([map_request, sim_request], workers=2)
+        assert isinstance(responses[0], MapResponse)
+        assert isinstance(responses[1], SimResponse)
+
+
+class TestRunSim:
+    def test_sim_round_trip_and_stats(self):
+        request = SimRequest(
+            map_request=MapRequest(app="dsp", price_bandwidth=False),
+            measure_cycles=2000,
+        )
+        response = run(request)
+        assert response.packets_measured > 0
+        assert response.latency_mean > 0
+        link, utilization = response.hottest_link()
+        assert "->" in link and 0 < utilization <= 1.0
+        rebuilt = SimResponse.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert rebuilt == response
+
+    def test_sim_on_torus_with_xy_routing(self):
+        request = SimRequest(
+            map_request=MapRequest(
+                app="pip",
+                topology=TopologySpec.parse("torus:3x3"),
+                price_bandwidth=False,
+            ),
+            measure_cycles=2000,
+            routing="xy",
+        )
+        response = run(request)
+        assert response.packets_measured > 0

@@ -1,0 +1,110 @@
+"""Registry tests: every advertised mapper resolves, runs, and validates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AnnealingOptions,
+    NmapOptions,
+    PbbOptions,
+    get_mapper,
+    list_mappers,
+    mapper_entries,
+    parse_option_assignments,
+    register_mapper,
+)
+from repro.api.registry import with_seed
+from repro.errors import ApiError
+from repro.graphs.topology import NoCTopology
+from repro.mapping.base import MappingResult
+
+ADVERTISED = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
+
+
+class TestCatalogue:
+    def test_all_seven_registered_in_order(self):
+        assert list_mappers() == ADVERTISED
+
+    def test_entries_have_summaries_and_options(self):
+        for entry in mapper_entries():
+            assert entry.summary, f"{entry.name} has no summary"
+            assert entry.default_options() is not None
+
+    def test_unknown_mapper_lists_known(self):
+        with pytest.raises(ApiError, match="nmap-tm"):
+            get_mapper("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ApiError, match="already registered"):
+            register_mapper("nmap", options=NmapOptions)(lambda *a, **k: None)
+
+
+class TestEveryMapperRuns:
+    @pytest.mark.parametrize("name", ADVERTISED)
+    def test_resolves_and_maps_tiny_app(self, name, tiny_graph):
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=tiny_graph.total_bandwidth())
+        result = get_mapper(name).run(tiny_graph, mesh)
+        assert isinstance(result, MappingResult)
+        assert result.feasible
+        assert result.mapping.is_complete
+        assert result.comm_cost < float("inf")
+
+    def test_split_variants_pin_quadrant_mode(self, tiny_graph):
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=tiny_graph.total_bandwidth())
+        assert get_mapper("nmap-tm").run(tiny_graph, mesh).algorithm == "nmap-tm"
+        assert get_mapper("nmap-ta").run(tiny_graph, mesh).algorithm == "nmap-ta"
+
+
+class TestOptions:
+    def test_wrong_type_rejected_at_run(self, tiny_graph):
+        mesh = NoCTopology.mesh(2, 2)
+        with pytest.raises(ApiError, match="takes"):
+            get_mapper("pbb").run(tiny_graph, mesh, NmapOptions())
+
+    def test_options_from_dict_unknown_key(self):
+        with pytest.raises(ApiError, match="unknown"):
+            get_mapper("pbb").options_from_dict({"queue": 10})
+
+    def test_options_from_dict_validates(self):
+        with pytest.raises(ApiError, match="max_queue"):
+            get_mapper("pbb").options_from_dict({"max_queue": 0})
+        assert get_mapper("pbb").options_from_dict({"max_queue": 5}) == PbbOptions(
+            max_queue=5
+        )
+
+    def test_options_from_dict_checks_types(self):
+        with pytest.raises(ApiError, match="max_queue"):
+            get_mapper("pbb").options_from_dict({"max_queue": "many"})
+        with pytest.raises(ApiError, match="improve"):
+            get_mapper("nmap").options_from_dict({"improve": 1})
+        # int is acceptable where float is annotated; None where the union allows it
+        entry = get_mapper("annealing")
+        assert entry.options_from_dict({"initial_temperature": 5}).initial_temperature == 5
+        assert get_mapper("nmap").options_from_dict({"max_passes": None}).max_passes is None
+
+    def test_seedable_flags(self):
+        assert get_mapper("annealing").seedable
+        assert not get_mapper("nmap").seedable
+
+    def test_with_seed(self):
+        assert with_seed(AnnealingOptions(), 9).seed == 9
+        with pytest.raises(ApiError, match="no seed"):
+            with_seed(NmapOptions(), 9)
+
+
+class TestOptionAssignments:
+    def test_parses_json_scalars(self):
+        payload = parse_option_assignments(
+            ["max_queue=50", "cooling=0.9", "improve=false", "max_passes=none"]
+        )
+        assert payload == {
+            "max_queue": 50,
+            "cooling": 0.9,
+            "improve": False,
+            "max_passes": None,
+        }
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ApiError, match="key=value"):
+            parse_option_assignments(["cooling"])

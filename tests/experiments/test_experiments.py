@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import TopologySpec
 from repro.errors import ReproError
-from repro.experiments.common import ExperimentTable, render_table
+from repro.experiments.common import ExperimentTable, map_grid, render_table
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.ilp_gap import run_ilp_gap
@@ -20,6 +21,19 @@ class TestCommon:
         lines = text.splitlines()
         assert lines[0] == "T"
         assert "300" in text
+
+    def test_map_grid_shape_and_keys(self):
+        grid = map_grid(["pip"], ("nmap", "gmap"))
+        assert set(grid) == {(0, "auto", "nmap"), (0, "auto", "gmap")}
+        assert all(response.feasible for response in grid.values())
+
+    def test_map_grid_rejects_colliding_topologies(self):
+        colliding = (
+            TopologySpec("mesh", 4, 4, 400.0),
+            TopologySpec("mesh", 4, 4, 800.0),  # same describe(), different BW
+        )
+        with pytest.raises(ReproError, match="distinguishable"):
+            map_grid(["pip"], ("nmap",), topologies=colliding)
 
     def test_render_notes(self):
         text = render_table("T", ["x"], [[1]], notes=["hello"])

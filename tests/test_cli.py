@@ -47,7 +47,8 @@ class TestMap:
         )
         assert code == 0
         payload = json.loads(out_json.read_text())
-        assert payload["app"] == "dsp"
+        assert payload["kind"] == "map-response"
+        assert payload["app_name"] == "dsp"
         assert len(payload["placement"]) == 6
         assert "digraph" in out_dot.read_text()
 
@@ -64,12 +65,82 @@ class TestMap:
         assert main(["map", "--app", "pip", "--algorithm", algorithm]) == 0
 
 
+    def test_map_torus_topology(self, capsys):
+        assert main(["map", "--app", "vopd", "--topology", "torus:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "torus:4x4" in out
+        assert "feasible    : True" in out
+
+    def test_map_rejects_topology_plus_mesh(self, capsys):
+        code = main(["map", "--app", "pip", "--topology", "mesh:4x4", "--mesh", "4x4"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_map_seed_rejected_for_deterministic(self, capsys):
+        assert main(["map", "--app", "pip", "--algorithm", "pmap", "--seed", "3"]) == 2
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_map_seed_for_annealing(self, capsys):
+        assert main(
+            ["map", "--app", "pip", "--algorithm", "annealing", "--seed", "3"]
+        ) == 0
+
+    def test_mapper_opt(self, capsys):
+        assert main(
+            ["map", "--app", "pip", "--algorithm", "pbb",
+             "--mapper-opt", "max_queue=50"]
+        ) == 0
+
+    def test_mapper_opt_unknown_key(self, capsys):
+        code = main(
+            ["map", "--app", "pip", "--algorithm", "pbb", "--mapper-opt", "queue=50"]
+        )
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_mapper_opt_mistyped_value(self, capsys):
+        code = main(
+            ["map", "--app", "pip", "--algorithm", "annealing",
+             "--mapper-opt", "cooling=fast"]
+        )
+        assert code == 2
+        assert "cooling" in capsys.readouterr().err
+
+    def test_out_json_is_map_response(self, tmp_path):
+        from repro.api import MapResponse
+
+        out_json = tmp_path / "response.json"
+        assert main(
+            ["map", "--app", "pip", "--topology", "torus:3x3",
+             "--out-json", str(out_json)]
+        ) == 0
+        response = MapResponse.from_dict(json.loads(out_json.read_text()))
+        assert response.topology.kind == "torus"
+        assert response.feasible
+
+
+class TestListMappers:
+    def test_lists_all_seven(self, capsys):
+        assert main(["list-mappers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing"):
+            assert name in out
+        assert "cooling" in out  # options are shown
+
+
 class TestSimulate:
     def test_simulate_dsp(self, capsys):
         assert main(["simulate", "--app", "dsp", "--cycles", "3000"]) == 0
         out = capsys.readouterr().out
         assert "latency mean" in out
         assert "hottest link" in out
+
+    def test_simulate_torus(self, capsys):
+        assert main(
+            ["simulate", "--app", "pip", "--topology", "torus:3x3",
+             "--cycles", "2000", "--sim-seed", "2"]
+        ) == 0
+        assert "latency mean" in capsys.readouterr().out
 
 
 class TestDesign:
@@ -97,6 +168,27 @@ class TestCompare:
             ["compare", "--app", "dsp", "--algorithms", "annealing"]
         ) == 0
         assert "annealing" in capsys.readouterr().out
+
+    def test_compare_out_json(self, tmp_path, capsys):
+        from repro.api import MapResponse
+
+        out_json = tmp_path / "compare.json"
+        assert main(
+            ["compare", "--app", "pip", "--algorithms", "gmap", "nmap",
+             "--out-json", str(out_json)]
+        ) == 0
+        payload = json.loads(out_json.read_text())
+        responses = [MapResponse.from_dict(entry) for entry in payload]
+        assert [r.request.mapper for r in responses] == ["gmap", "nmap"]
+        assert all(r.min_bw_split is not None for r in responses)
+
+    def test_compare_seed_applies_only_to_stochastic(self, capsys):
+        assert main(
+            ["compare", "--app", "pip", "--seed", "5",
+             "--algorithms", "pmap", "annealing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pmap" in out and "annealing" in out
 
 
 class TestExperiment:
