@@ -1,26 +1,39 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench smoke
+.PHONY: check test test-properties bench-smoke bench smoke
 
-# What CI runs on every push: the tier-1 suite, a smoke-sized perf bench,
-# and the example/CLI smoke.  The speedup floor is deliberately far below
-# the real margins (3-20x; the smallest smoke kernel sits near 1.3x and
-# jitters on loaded runners) — it exists to catch order-of-magnitude
-# regressions, not to measure.
-check: test bench-smoke smoke
+# What CI runs on every push: the equivalence property suite first (its own
+# stage, so a cycle-vs-event or fastpath-vs-scalar divergence fails loudly
+# and early), then the tier-1 suite, a smoke-sized perf bench, and the
+# example/CLI smoke.  The speedup floor is deliberately far below the real
+# margins (3-20x; the smallest smoke kernel sits near 1.3x and jitters on
+# loaded runners) — it exists to catch order-of-magnitude regressions, not
+# to measure.
+check: test-properties test bench-smoke smoke
 
+# tests/properties is excluded here only because `check` already ran it in
+# its own stage; run `pytest -x -q` bare for the complete tier-1 sweep.
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q --ignore=tests/properties
+
+# The fastpath/engine equivalence contracts, isolated: these are the tests
+# that prove the event engine and every numpy fast path are bit-consistent
+# with the seed's reference implementations.
+test-properties:
+	$(PYTHON) -m pytest -q tests/properties
 
 bench-smoke:
-	$(PYTHON) benchmarks/run_bench.py --smoke --output /tmp/BENCH_smoke.json --min-speedup 0.5
+	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_smoke.json --min-speedup 0.5
 
-# End-to-end smoke: the quickstart example plus one torus mapping through
-# the CLI — proves the repro.api facade and torus routing stay wired up.
+# End-to-end smoke: the quickstart example plus one torus mapping and one
+# event-engine synthetic simulation through the CLI — proves the repro.api
+# facade, torus routing and the engine/traffic plumbing stay wired up.
 smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) -m repro.cli map --app vopd --topology torus:4x4
+	$(PYTHON) -m repro.cli simulate --app dsp --engine event --traffic uniform \
+		--injection-rate 0.05 --vcs 2 --cycles 2000
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

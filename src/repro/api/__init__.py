@@ -52,6 +52,7 @@ from repro.api.specs import (
     SCHEMA_VERSION,
     MapRequest,
     MapResponse,
+    SimOptions,
     SimRequest,
     SimResponse,
     TopologySpec,
@@ -69,6 +70,7 @@ __all__ = [
     "NmapSplitOptions",
     "PbbOptions",
     "PmapOptions",
+    "SimOptions",
     "SimRequest",
     "SimResponse",
     "TopologySpec",

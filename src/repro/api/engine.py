@@ -31,7 +31,8 @@ from repro.mapping.base import Mapping, MappingResult
 from repro.metrics.bandwidth import min_bandwidth_min_path, min_bandwidth_split
 from repro.routing.dimension_ordered import xy_routing
 from repro.routing.min_path import min_path_routing
-from repro.simnoc import SimConfig, simulate_mapping
+from repro.simnoc import SimConfig, simulate_mapping, simulate_synthetic
+from repro.simnoc.simulator import SimulationReport
 
 
 def resolve_app(spec: str | dict) -> CoreGraph:
@@ -89,34 +90,69 @@ def run_map(request: MapRequest) -> MapResponse:
 
 
 def run_sim(request: SimRequest) -> SimResponse:
-    """Execute one simulation request (map, route, simulate, summarize)."""
+    """Execute one simulation request (map, route, simulate, summarize).
+
+    Every RNG stream of the run derives from the request's own seeds
+    (``sim_seed`` for traffic, the map request's ``seed`` for stochastic
+    mappers) plus a stable per-component stream index — never from shared
+    global state — so the response is a pure function of the request
+    regardless of batch worker counts (see :func:`run_batch`).
+    """
+    options = request.options
     topology, result = execute_map(request.map_request)
-    mapping = result.mapping
-    commodities = build_commodities(mapping.core_graph, mapping)
-    if request.routing == "xy":
-        routing = xy_routing(topology, commodities)
-    elif request.routing == "min-path":
-        routing = min_path_routing(topology, commodities)
-    elif result.routing is not None and request.map_request.mapper.startswith("nmap-t"):
-        # The split variants' own fractional routing is the point of those
-        # mappers; everything else is priced with minimum paths.
-        routing = result.routing
-    else:
-        routing = min_path_routing(topology, commodities)
     config = SimConfig(
         warmup_cycles=request.warmup_cycles,
         measure_cycles=request.measure_cycles,
         drain_cycles=request.drain_cycles,
         mean_burst_packets=request.mean_burst_packets,
         seed=request.sim_seed,
+        num_vcs=options.num_vcs,
+        vc_buffer_depth=options.vc_buffer_depth,
     )
-    report = simulate_mapping(topology, commodities, routing, config)
-    stats = report.stats
+    if options.traffic == "trace":
+        mapping = result.mapping
+        commodities = build_commodities(mapping.core_graph, mapping)
+        if request.routing == "xy":
+            routing = xy_routing(topology, commodities)
+        elif request.routing == "min-path":
+            routing = min_path_routing(topology, commodities)
+        elif result.routing is not None and request.map_request.mapper.startswith(
+            "nmap-t"
+        ):
+            # The split variants' own fractional routing is the point of
+            # those mappers; everything else is priced with minimum paths.
+            routing = result.routing
+        else:
+            routing = min_path_routing(topology, commodities)
+        report = simulate_mapping(
+            topology, commodities, routing, config, engine=options.engine
+        )
+    else:
+        # Synthetic patterns drive the mapped topology directly (XY
+        # routes); the mapper still runs because the response contract
+        # always carries a map_response describing the fabric under test —
+        # callers sweeping synthetic load should pair these requests with a
+        # cheap mapper (the default nmap maps VOPD in ~2 ms).
+        report = simulate_synthetic(
+            topology,
+            config,
+            options.traffic,
+            options.injection_rate,
+            engine=options.engine,
+        )
     # Bandwidth pricing is skipped here regardless of the map request's
     # flag: the simulation itself is the bandwidth evidence.
     map_response = _build_map_response(
         request.map_request, topology, result, price_bandwidth=False
     )
+    return _build_sim_response(request, map_response, report)
+
+
+def _build_sim_response(
+    request: SimRequest, map_response: MapResponse, report: SimulationReport
+) -> SimResponse:
+    """The one place a SimulationReport becomes a serializable response."""
+    stats = report.stats
     return SimResponse(
         request=request,
         map_response=map_response,
@@ -133,6 +169,22 @@ def run_sim(request: SimRequest) -> SimResponse:
         link_utilization={
             f"{src}->{dst}": utilization
             for (src, dst), utilization in report.link_utilization.items()
+        },
+        link_flits={
+            f"{src}->{dst}": carried
+            for (src, dst), carried in report.link_flits.items()
+        },
+        per_flow={
+            str(flow): {
+                "count": flow_stats.count,
+                "mean": flow_stats.mean,
+                "p50": flow_stats.p50,
+                "p95": flow_stats.p95,
+                "std": flow_stats.std,
+                "jitter": flow_stats.jitter,
+                "histogram": list(flow_stats.histogram),
+            }
+            for flow, flow_stats in report.per_flow.items()
         },
     )
 
@@ -151,6 +203,15 @@ def run_batch(
     workers: int | None = None,
 ) -> list[MapResponse | SimResponse]:
     """Run many requests concurrently; responses keep request order.
+
+    Determinism contract (regression-tested): every response is a pure
+    function of its own request.  All RNG streams derive from the seeds
+    carried *in* the request payload plus stable per-component stream
+    indices — mapper seeds via their options, trace traffic via its
+    per-commodity streams, synthetic injectors via
+    :func:`repro.seeding.derive_seed` — and no job reads shared global RNG
+    state, so ``workers=1`` and ``workers=8`` produce byte-identical
+    response payloads, in the same order.
 
     Args:
         requests: any mix of map and sim requests.

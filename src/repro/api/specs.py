@@ -372,6 +372,101 @@ class MapResponse:
 # simulation
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
+class SimOptions:
+    """The simulation-substrate knobs: which engine, traffic and router.
+
+    Grouped separately from :class:`SimRequest`'s workload parameters so
+    the same workload can be re-run against a different backend or router
+    model by swapping one sub-payload.
+
+    Attributes:
+        engine: registered engine name — ``"cycle"`` (cycle-accurate
+            reference) or ``"event"`` (event-driven, skips dead time; bit
+            consistent with ``cycle``).
+        traffic: ``"trace"`` replays the mapped core graph's bandwidths;
+            ``"uniform"``, ``"transpose"`` and ``"onoff"`` are synthetic
+            patterns driven per node (see :mod:`repro.simnoc.synthetic`).
+        injection_rate: offered load per node in flits/cycle; required for
+            synthetic patterns, rejected for ``"trace"`` (the core graph
+            sets the rates there).
+        num_vcs: virtual channels per link; >1 selects the VC wormhole
+            router.
+        vc_buffer_depth: per-VC input FIFO depth; None shares the global
+            ``buffer_depth``.
+    """
+
+    engine: str = "cycle"
+    traffic: str = "trace"
+    injection_rate: float | None = None
+    num_vcs: int = 1
+    vc_buffer_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.simnoc import list_engines, list_traffic_patterns
+
+        if self.engine not in list_engines():
+            raise ApiError(
+                f"engine must be one of {', '.join(list_engines())}, "
+                f"got {self.engine!r}"
+            )
+        if self.traffic not in list_traffic_patterns():
+            raise ApiError(
+                f"traffic must be one of {', '.join(list_traffic_patterns())}, "
+                f"got {self.traffic!r}"
+            )
+        if self.traffic == "trace":
+            if self.injection_rate is not None:
+                raise ApiError(
+                    "trace traffic derives rates from the core graph; "
+                    "injection_rate must be None"
+                )
+        else:
+            if self.injection_rate is None or self.injection_rate <= 0:
+                raise ApiError(
+                    f"synthetic traffic {self.traffic!r} needs a positive "
+                    f"injection_rate (flits/cycle per node)"
+                )
+        if self.num_vcs < 1:
+            raise ApiError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.vc_buffer_depth is not None:
+            if self.num_vcs == 1:
+                raise ApiError(
+                    "vc_buffer_depth only applies to the VC router; set "
+                    "num_vcs >= 2 (the plain wormhole router uses the "
+                    "global buffer_depth)"
+                )
+            if self.vc_buffer_depth < 2:
+                raise ApiError(
+                    f"vc_buffer_depth must be >= 2, got {self.vc_buffer_depth}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "traffic": self.traffic,
+            "injection_rate": self.injection_rate,
+            "num_vcs": self.num_vcs,
+            "vc_buffer_depth": self.vc_buffer_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimOptions":
+        if not isinstance(payload, dict):
+            raise ApiError(f"sim options payload must be a dict, got {payload!r}")
+        known = {"engine", "traffic", "injection_rate", "num_vcs", "vc_buffer_depth"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ApiError(f"unknown sim option(s): {', '.join(unknown)}")
+        return cls(
+            engine=payload.get("engine", "cycle"),
+            traffic=payload.get("traffic", "trace"),
+            injection_rate=payload.get("injection_rate"),
+            num_vcs=payload.get("num_vcs", 1),
+            vc_buffer_depth=payload.get("vc_buffer_depth"),
+        )
+
+
+@dataclass(frozen=True)
 class SimRequest:
     """One packet-level simulation job over a mapped application.
 
@@ -381,10 +476,14 @@ class SimRequest:
         warmup_cycles/drain_cycles: simulator ramp-up / flush windows.
         mean_burst_packets: traffic burstiness (1.0 disables).
         sim_seed: traffic-generation RNG seed (independent of the mapper's
-            ``seed``).
+            ``seed``).  Every random stream of the run derives from this
+            seed plus stable per-component indices, so results are a pure
+            function of the request — independent of batch worker counts.
         routing: ``"auto"`` uses the mapper's own routing for split
             variants and load-balanced minimum paths otherwise;
-            ``"min-path"`` and ``"xy"`` force those routers.
+            ``"min-path"`` and ``"xy"`` force those routers.  Synthetic
+            traffic always routes XY.
+        options: engine/traffic/router-model knobs (:class:`SimOptions`).
     """
 
     map_request: MapRequest
@@ -394,6 +493,7 @@ class SimRequest:
     mean_burst_packets: float = 4.0
     sim_seed: int = 1
     routing: str = "auto"
+    options: SimOptions = field(default_factory=SimOptions)
 
     def __post_init__(self) -> None:
         if self.routing not in ("auto", "min-path", "xy"):
@@ -405,6 +505,15 @@ class SimRequest:
                 raise ApiError(f"{name} must be >= 0, got {getattr(self, name)}")
         if self.measure_cycles < 1:
             raise ApiError(f"measure_cycles must be >= 1, got {self.measure_cycles}")
+        if not isinstance(self.options, SimOptions):
+            raise ApiError(
+                f"options must be a SimOptions, got {type(self.options).__name__}"
+            )
+        if self.options.traffic != "trace" and self.routing != "auto":
+            raise ApiError(
+                f"synthetic traffic {self.options.traffic!r} always routes XY; "
+                f"routing must stay 'auto', got {self.routing!r}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -417,11 +526,13 @@ class SimRequest:
             "mean_burst_packets": self.mean_burst_packets,
             "sim_seed": self.sim_seed,
             "routing": self.routing,
+            "options": self.options.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "SimRequest":
         data = _check_envelope(payload, "sim-request")
+        raw_options = data.get("options")
         return cls(
             map_request=MapRequest.from_dict(
                 _required(data, "map_request", "sim-request")
@@ -432,6 +543,10 @@ class SimRequest:
             mean_burst_packets=data.get("mean_burst_packets", 4.0),
             sim_seed=data.get("sim_seed", 1),
             routing=data.get("routing", "auto"),
+            options=(
+                SimOptions() if raw_options is None
+                else SimOptions.from_dict(raw_options)
+            ),
         )
 
 
@@ -439,8 +554,15 @@ class SimRequest:
 class SimResponse:
     """Latency/utilization summary of one :class:`SimRequest`.
 
-    ``link_utilization`` keys directed links as ``"src->dst"`` strings so
-    the payload stays plain JSON.
+    ``link_utilization``/``link_flits`` key directed links as
+    ``"src->dst"`` strings and ``per_flow`` keys flows by their commodity
+    index as a string, so the payload stays plain JSON.
+
+    Each ``per_flow`` entry carries ``count``, ``mean``, ``p50``, ``p95``,
+    ``std``, ``jitter`` and ``histogram`` — the histogram is power-of-two
+    binned (bin ``i`` counts latencies in ``[2**i, 2**(i+1))``), compact
+    enough to ship for every flow yet detailed enough for saturation and
+    tail analysis.
     """
 
     request: SimRequest
@@ -456,6 +578,8 @@ class SimResponse:
     packets_delivered: int
     cycles: int
     link_utilization: dict[str, float] = field(default_factory=dict)
+    link_flits: dict[str, int] = field(default_factory=dict)
+    per_flow: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def hottest_link(self) -> tuple[str, float]:
         """The most utilized directed link as ``("src->dst", utilization)``."""
@@ -463,6 +587,13 @@ class SimResponse:
             raise ApiError("no link utilization recorded")
         link = max(self.link_utilization, key=self.link_utilization.__getitem__)
         return link, self.link_utilization[link]
+
+    def worst_flow(self) -> tuple[str, dict[str, Any]]:
+        """The flow with the highest mean latency, as ``(flow, stats)``."""
+        if not self.per_flow:
+            raise ApiError("no per-flow statistics recorded")
+        flow = max(self.per_flow, key=lambda key: self.per_flow[key]["mean"])
+        return flow, self.per_flow[flow]
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -481,6 +612,8 @@ class SimResponse:
             "packets_delivered": self.packets_delivered,
             "cycles": self.cycles,
             "link_utilization": dict(self.link_utilization),
+            "link_flits": dict(self.link_flits),
+            "per_flow": {flow: dict(stats) for flow, stats in self.per_flow.items()},
         }
 
     @classmethod
@@ -502,6 +635,13 @@ class SimResponse:
             cycles=int(need("cycles")),
             link_utilization={
                 str(k): float(v) for k, v in data.get("link_utilization", {}).items()
+            },
+            link_flits={
+                str(k): int(v) for k, v in data.get("link_flits", {}).items()
+            },
+            per_flow={
+                str(flow): dict(stats)
+                for flow, stats in data.get("per_flow", {}).items()
             },
         )
 

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.api import (
     MapRequest,
+    SimOptions,
     SimRequest,
     TopologySpec,
     execute_map,
@@ -45,6 +46,7 @@ from repro.design import compile_design, emit_netlist
 from repro.errors import ApiError, ReproError
 from repro.experiments.runner import EXPERIMENTS, render_all, run_experiment
 from repro.graphs.io import mapping_to_dot
+from repro.simnoc import list_engines, list_traffic_patterns
 
 
 def _topology_spec(args: argparse.Namespace) -> TopologySpec:
@@ -143,8 +145,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         mean_burst_packets=args.burst,
         sim_seed=args.sim_seed,
+        options=SimOptions(
+            engine=args.engine,
+            traffic=args.traffic,
+            injection_rate=args.injection_rate,
+            num_vcs=args.vcs,
+            vc_buffer_depth=args.vc_depth,
+        ),
     )
     response = run_sim(request)
+    print(
+        f"engine / traffic : {request.options.engine} / "
+        f"{request.options.traffic}"
+        + (f" @ {request.options.injection_rate} flits/cycle/node"
+           if request.options.injection_rate is not None else "")
+        + (f", {request.options.num_vcs} VCs" if request.options.num_vcs > 1 else "")
+    )
     print(f"packets measured : {response.packets_measured}")
     print(
         f"latency mean     : {response.latency_mean:.1f} cycles "
@@ -157,6 +173,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"latency max      : {response.latency_max:.0f} cycles")
     link, utilization = response.hottest_link()
     print(f"hottest link     : {link} at {utilization*100:.0f}% util")
+    flow, stats = response.worst_flow()
+    print(
+        f"worst flow       : #{flow} mean {stats['mean']:.1f} cycles "
+        f"(p95 {stats['p95']:.0f}, jitter {stats['jitter']:.1f}, "
+        f"{stats['count']} packets)"
+    )
+    if args.out_json:
+        Path(args.out_json).write_text(
+            json.dumps(response.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.out_json}")
     return 0
 
 
@@ -270,6 +297,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cycles", type=int, default=20_000, help="measured cycles")
     p_sim.add_argument("--burst", type=float, default=4.0, help="mean packets per burst")
     p_sim.add_argument("--sim-seed", type=int, default=1, help="traffic RNG seed")
+    p_sim.add_argument(
+        "--engine",
+        default="cycle",
+        choices=list_engines(),
+        help="simulation backend: cycle-accurate reference or event-driven",
+    )
+    p_sim.add_argument(
+        "--traffic",
+        default="trace",
+        choices=list_traffic_patterns(),
+        help="trace replays the core graph; the rest are synthetic patterns",
+    )
+    p_sim.add_argument(
+        "--injection-rate",
+        type=float,
+        default=None,
+        help="offered load per node in flits/cycle (synthetic traffic only)",
+    )
+    p_sim.add_argument(
+        "--vcs",
+        type=int,
+        default=1,
+        help="virtual channels per link (>1 selects the VC wormhole router)",
+    )
+    p_sim.add_argument(
+        "--vc-depth",
+        type=int,
+        default=None,
+        help="per-VC buffer depth in flits (default: the global buffer depth)",
+    )
+    p_sim.add_argument(
+        "--out-json", default=None, help="write the SimResponse JSON here"
+    )
 
     p_design = sub.add_parser("design", help="compile the NoC and emit a netlist")
     add_common(p_design)

@@ -1,0 +1,104 @@
+"""Latency vs. injection rate: the classical NoC saturation sweep.
+
+The paper evaluates its mappings under application traffic; the pluggable
+traffic layer makes the complementary characterization a first-class
+experiment: sweep a synthetic pattern's offered load on a fixed fabric and
+watch average and tail latency take off at the saturation knee.  Uniform
+random is the standard benchmark pattern; transpose stresses the diagonal
+under XY routing and saturates earlier on the same mesh.
+
+Runs on the event-driven engine (bit-consistent with the cycle engine —
+``tests/properties`` pins that — and much faster at the low-load end of the
+sweep, which is where most of the points sit).  Every point is a
+:class:`~repro.api.SimRequest` through ``run_batch``, like every other
+experiment.
+"""
+
+from __future__ import annotations
+
+from repro.api import MapRequest, SimOptions, SimRequest, TopologySpec, run_batch
+from repro.experiments.common import ExperimentTable
+
+#: Offered load sweep in flits/cycle per node.
+SWEEP_RATES = (0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+def run_latency_sweep(
+    rates: tuple[float, ...] = SWEEP_RATES,
+    patterns: tuple[str, ...] = ("uniform", "transpose"),
+    mesh: str = "mesh:4x4",
+    measure_cycles: int = 4_000,
+    engine: str = "event",
+    num_vcs: int = 1,
+    workers: int | None = None,
+) -> ExperimentTable:
+    """Latency-vs-injection-rate curves for synthetic patterns.
+
+    Args:
+        rates: offered loads to sweep (flits/cycle per node).
+        patterns: registered synthetic traffic patterns to compare.
+        mesh: topology spec string for the fabric under test.
+        measure_cycles: measurement window per point.
+        engine: simulation backend for every point.
+        num_vcs: virtual channels per link (1 = the paper's router).
+        workers: thread count for the request batch.
+    """
+    # VOPD's 16 cores pin the 4x4 fabric; link bandwidth well above the
+    # sweep's saturation point so the network, not the spec, is the limit.
+    base_map = MapRequest(
+        app="vopd",
+        mapper="nmap",
+        topology=TopologySpec.parse(mesh, link_bandwidth=6400.0),
+        price_bandwidth=False,
+    )
+    requests = [
+        SimRequest(
+            map_request=base_map,
+            measure_cycles=measure_cycles,
+            warmup_cycles=500,
+            drain_cycles=1_000,
+            sim_seed=11,
+            options=SimOptions(
+                engine=engine,
+                traffic=pattern,
+                injection_rate=rate,
+                num_vcs=num_vcs,
+            ),
+        )
+        for pattern in patterns
+        for rate in rates
+    ]
+    responses = run_batch(requests, workers=workers)
+
+    table = ExperimentTable(
+        title="Latency vs injection rate - synthetic traffic saturation sweep",
+        headers=["rate_flits_cycle"]
+        + [f"{p}_{col}" for p in patterns for col in ("mean", "p95")],
+        notes=[
+            f"fabric {mesh}, XY routing, 64 B packets, 7-cycle switch delay, "
+            f"{num_vcs} VC(s)",
+            f"{engine} engine; {measure_cycles} measured cycles/point; "
+            f"offered load in flits/cycle per node",
+        ],
+    )
+    by_key = {
+        (r.request.options.traffic, r.request.options.injection_rate): r
+        for r in responses
+    }
+    for rate in rates:
+        row: list[object] = [rate]
+        for pattern in patterns:
+            response = by_key[(pattern, rate)]
+            row.extend(
+                [round(response.latency_mean, 1), round(response.latency_p95, 1)]
+            )
+        table.rows.append(row)
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI hook
+    print(run_latency_sweep().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""Deterministic seed derivation for independent RNG streams.
+
+Every stochastic component in this repository (traffic sources, synthetic
+injectors, stochastic mappers fanned out by ``run_batch``) must draw from a
+stream derived *only* from the seed carried by its request plus a stable
+stream index — never from shared global state.  That is what makes a batch
+of requests produce identical outputs whether it runs on 1 worker or 8:
+each job's randomness is a pure function of its own payload.
+
+``derive_seed`` is a splitmix64-style mixer: statistically independent
+streams for adjacent ``(base, *streams)`` tuples, stable across processes
+and Python versions (no reliance on ``hash``).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 output step (Steele et al., the JDK's SplittableRandom)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive_seed(base: int, *streams: int) -> int:
+    """A 64-bit seed derived from ``base`` and a stable stream index path.
+
+    Args:
+        base: the user-facing seed (e.g. ``SimConfig.seed``).
+        streams: any number of integer stream indices (node id, commodity
+            index, batch position, ...) identifying one independent stream.
+
+    Returns:
+        A deterministic value in ``[0, 2**64)``; distinct stream paths give
+        uncorrelated seeds even when ``base`` values are small and adjacent.
+    """
+    state = _splitmix64(base & _MASK64)
+    for stream in streams:
+        state = _splitmix64(state ^ (stream & _MASK64))
+    return state

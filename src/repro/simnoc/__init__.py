@@ -1,12 +1,17 @@
-"""Cycle-level wormhole NoC simulator (SystemC / ×pipes substitute).
+"""Flit-level wormhole NoC simulator (SystemC / ×pipes substitute).
 
 The paper validates NMAP by generating a SystemC NoC with ×pipes macros and
 simulating it cycle-accurately (§7.2, Figure 5c).  This package is the
-equivalent substrate in Python: a flit-level, cycle-driven simulator of an
-input-buffered wormhole mesh with credit-based flow control, source routing
-(single-path or weighted multi-path from a :class:`RoutingResult`), bursty
-traffic generators driven by the core graph's bandwidths and latency
-statistics collection.
+equivalent substrate in Python, split into two layers (``ARCHITECTURE.md``):
+
+* a **model layer** — pluggable routers (the paper's wormhole switch, plus
+  a virtual-channel variant), network interfaces, credit-flow links and
+  traffic injectors (trace-driven from the mapped core graph, or synthetic
+  uniform-random / transpose / bursty on-off patterns);
+* an **engine layer** — interchangeable time-advance backends: the
+  cycle-accurate reference loop (``engine="cycle"``) and a heap-scheduled
+  event-driven engine (``engine="event"``) that skips all dead time and
+  produces identical results.
 
 Key model parameters (:class:`SimConfig`) mirror the paper's Table 3:
 64-byte packets, a 7-cycle switch traversal, and link bandwidths swept in
@@ -14,25 +19,56 @@ GB/s (converted to flits/cycle by the configured clock and flit width).
 """
 
 from repro.simnoc.config import SimConfig
-from repro.simnoc.network import Network, build_network
+from repro.simnoc.engines import get_engine, list_engines
+from repro.simnoc.models import (
+    RouterModel,
+    TrafficSource,
+    get_router_model,
+    get_traffic_pattern,
+    list_router_models,
+    list_traffic_patterns,
+)
+from repro.simnoc.network import (
+    Network,
+    build_network,
+    build_synthetic_network,
+)
 from repro.simnoc.packet import Flit, FlitKind, Packet
-from repro.simnoc.simulator import SimulationReport, Simulator, simulate_mapping
-from repro.simnoc.stats import LatencyStats
+from repro.simnoc.simulator import (
+    SimulationReport,
+    Simulator,
+    simulate_mapping,
+    simulate_synthetic,
+)
+from repro.simnoc.stats import FlowStats, LatencyStats
 from repro.simnoc.trace import TraceEvent, TraceRecorder
 from repro.simnoc.traffic import BurstyTrafficSource
+from repro.simnoc.vc_router import VCRouter
 
 __all__ = [
     "BurstyTrafficSource",
     "Flit",
     "FlitKind",
+    "FlowStats",
     "LatencyStats",
     "Network",
     "Packet",
+    "RouterModel",
     "SimConfig",
     "SimulationReport",
     "Simulator",
     "TraceEvent",
     "TraceRecorder",
+    "TrafficSource",
+    "VCRouter",
     "build_network",
+    "build_synthetic_network",
+    "get_engine",
+    "get_router_model",
+    "get_traffic_pattern",
+    "list_engines",
+    "list_router_models",
+    "list_traffic_patterns",
     "simulate_mapping",
+    "simulate_synthetic",
 ]

@@ -26,6 +26,14 @@ class SimConfig:
         mean_burst_packets: mean packets per traffic burst (bursty sources;
             1.0 disables burstiness).
         seed: RNG seed for traffic generation and split-path selection.
+        num_vcs: virtual channels per physical link.  1 selects the plain
+            wormhole router (the paper's model); >1 selects the VC wormhole
+            router, where worms on different VCs interleave flit-by-flit on
+            a shared physical link instead of blocking head-of-line.
+        vc_buffer_depth: input-FIFO capacity *per virtual channel* in flits;
+            None gives each VC the full ``buffer_depth``.
+        router_model: registered router model name; ``"auto"`` picks
+            ``"wormhole"`` or ``"wormhole-vc"`` from ``num_vcs``.
     """
 
     clock_hz: float = 400e6
@@ -38,6 +46,9 @@ class SimConfig:
     drain_cycles: int = 5_000
     mean_burst_packets: float = 4.0
     seed: int = 1
+    num_vcs: int = 1
+    vc_buffer_depth: int | None = None
+    router_model: str = "auto"
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:
@@ -62,6 +73,24 @@ class SimConfig:
         for name in ("warmup_cycles", "measure_cycles", "drain_cycles"):
             if getattr(self, name) < 0:
                 raise SimulationError(f"{name} must be non-negative")
+        if self.num_vcs < 1:
+            raise SimulationError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.vc_buffer_depth is not None and self.vc_buffer_depth < 2:
+            raise SimulationError(
+                f"wormhole needs vc_buffer_depth >= 2, got {self.vc_buffer_depth}"
+            )
+
+    @property
+    def effective_router_model(self) -> str:
+        """The router model this run instantiates (``"auto"`` resolved)."""
+        if self.router_model != "auto":
+            return self.router_model
+        return "wormhole-vc" if self.num_vcs > 1 else "wormhole"
+
+    @property
+    def effective_vc_depth(self) -> int:
+        """Per-VC input FIFO capacity in flits."""
+        return self.vc_buffer_depth if self.vc_buffer_depth is not None else self.buffer_depth
 
     @property
     def flits_per_packet(self) -> int:

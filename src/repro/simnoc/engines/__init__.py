@@ -1,0 +1,28 @@
+"""The engine layer: interchangeable backends that advance simulated time.
+
+Engines drive the model layer (routers, NIs, traffic sources — see
+:mod:`repro.simnoc.models`) and differ only in *how* they decide which
+component to touch when:
+
+* ``"cycle"`` — the cycle-accurate reference (full per-cycle scan, or the
+  PR-1 active-set variant that skips idle components bit-exactly);
+* ``"event"`` — heap-scheduled event-driven time: components are stepped
+  only at cycles where they can act, and all dead time in between is
+  skipped outright.
+
+Every engine produces identical simulation results on identical inputs —
+the property suite pins the equivalence; the benches measure the gap.
+"""
+
+from repro.simnoc.engines.base import Engine, get_engine, list_engines
+from repro.simnoc.engines.cycle import DEADLOCK_WINDOW, CycleEngine
+from repro.simnoc.engines.event import EventEngine
+
+__all__ = [
+    "CycleEngine",
+    "DEADLOCK_WINDOW",
+    "Engine",
+    "EventEngine",
+    "get_engine",
+    "list_engines",
+]

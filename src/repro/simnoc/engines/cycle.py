@@ -1,0 +1,214 @@
+"""The cycle-accurate engine: per-cycle scan, with the active-set fast loop.
+
+Per cycle: traffic sources create packets (handed to their NI), NIs inject
+one flit each into their router's local port, then every router advances its
+output ports (arbitration, wormhole forwarding, link serialization, credit
+flow control).  This is the bit-exact reference the event engine is
+property-tested against.
+
+Two variants share the semantics:
+
+* the seed's full scan — every source, NI and router, every cycle;
+* the PR-1 active-set loop — skip idle routers/NIs and fast-forward fully
+  idle stretches, provably without changing a single flit movement.
+
+A watchdog aborts runs where no flit moves for a long stretch while traffic
+is in flight (wormhole + arbitrary multi-path source routing is not
+provably deadlock-free; at the evaluated loads deadlock does not occur, but
+silent hangs must not masquerade as results).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import TYPE_CHECKING
+
+from repro import fastpath
+from repro.errors import SimulationError
+from repro.simnoc.engines.base import register_engine
+from repro.simnoc.router import LOCAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnoc.simulator import Simulator
+
+#: Cycles without any flit movement (while flits are in flight) that count
+#: as a deadlock.
+DEADLOCK_WINDOW = 50_000
+
+
+@register_engine("cycle")
+class CycleEngine:
+    """Cycle-accurate time: dispatches to the active-set or full-scan loop.
+
+    ``sim.active_set`` selects the variant (None follows the global
+    fast-path switch; the full scan is the reference oracle the
+    equivalence tests compare against).
+    """
+
+    name = "cycle"
+
+    def run(self, sim: "Simulator") -> None:
+        use_active = (
+            sim.active_set
+            if sim.active_set is not None
+            else fastpath.fast_paths_enabled()
+        )
+        if use_active:
+            self._run_active_set(sim)
+        else:
+            self._run_full_scan(sim)
+
+    def _run_full_scan(self, sim: "Simulator") -> None:
+        """The seed's cycle loop: every source, NI and router, every cycle."""
+        network = sim.network
+        config = sim.config
+        measure_start = config.warmup_cycles
+        measure_end = config.warmup_cycles + config.measure_cycles
+        last_progress = 0
+
+        trace = sim.trace
+
+        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
+            if trace is not None:
+                trace.record(from_node, to_key, flit, cycle)
+            if to_key == LOCAL:
+                network.interfaces[from_node].eject(flit, cycle)
+            else:
+                network.routers[to_key].inputs[from_node].push(flit, cycle)
+
+        for cycle in range(config.total_cycles):
+            moved = 0
+            for source in network.sources:
+                for packet in source.packets_for_cycle(cycle, sim.next_packet_id):
+                    packet.measured = measure_start <= cycle < measure_end
+                    sim.all_packets.append(packet)
+                    network.interfaces[packet.src_node].offer_packet(packet)
+            for node in sorted(network.interfaces):
+                moved += network.interfaces[node].inject(cycle, LOCAL)
+            for node in sorted(network.routers):
+                moved += network.routers[node].step(cycle, deliver)
+
+            if moved:
+                last_progress = cycle
+            elif (
+                cycle - last_progress > DEADLOCK_WINDOW
+                and network.total_buffered_flits() > 0
+            ):
+                raise SimulationError(
+                    f"deadlock: no flit moved since cycle {last_progress} "
+                    f"with {network.total_buffered_flits()} flits buffered"
+                )
+
+    def _run_active_set(self, sim: "Simulator") -> None:
+        """Cycle loop that only touches components with pending work.
+
+        Equivalence with :meth:`_run_full_scan` (the invariants the property
+        tests pin down):
+
+        * an NI with an empty injection queue and a router with no buffered
+          flits and no allocated wormhole are no-ops in the full scan except
+          for token refills, which ``OutputPort.refill_to`` replays
+          bit-exactly on re-activation;
+        * routers are stepped in ascending node id; a flit delivered
+          downstream mid-cycle activates its receiver, inserting it into the
+          current sweep iff its id is still ahead (the full scan would have
+          stepped it later this same cycle) — receivers behind the sweep
+          point were stepped as no-ops already and wake next cycle;
+        * sources sit in a heap keyed by their next firing cycle, so a
+          completely idle network (no backlog, no flits in flight) jumps
+          straight to the next injection without touching anything.
+        """
+        network = sim.network
+        config = sim.config
+        measure_start = config.warmup_cycles
+        measure_end = config.warmup_cycles + config.measure_cycles
+        total_cycles = config.total_cycles
+        last_progress = 0
+
+        trace = sim.trace
+        routers = network.routers
+        interfaces = network.interfaces
+
+        active_routers: set[int] = set()
+        active_nis: set[int] = set()
+
+        # Per-cycle router sweep state, shared with the deliver closure.
+        sweep: list[int] = []
+        swept: set[int] = set()
+        sweep_pos = [0]
+
+        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
+            if trace is not None:
+                trace.record(from_node, to_key, flit, cycle)
+            if to_key == LOCAL:
+                interfaces[from_node].eject(flit, cycle)
+                return
+            routers[to_key].inputs[from_node].push(flit, cycle)
+            active_routers.add(to_key)
+            if to_key not in swept and to_key > sweep[sweep_pos[0]]:
+                bisect.insort(sweep, to_key, lo=sweep_pos[0] + 1)
+                swept.add(to_key)
+
+        event_heap = [
+            (source.next_event_cycle, index)
+            for index, source in enumerate(network.sources)
+        ]
+        heapq.heapify(event_heap)
+
+        cycle = 0
+        while cycle < total_cycles:
+            if not active_routers and not active_nis:
+                # Fully idle: no flit buffered or in flight anywhere, so
+                # nothing can happen before the next source fires.
+                if not event_heap or event_heap[0][0] >= total_cycles:
+                    break
+                if event_heap[0][0] > cycle:
+                    cycle = event_heap[0][0]
+
+            while event_heap and event_heap[0][0] <= cycle:
+                _, index = heapq.heappop(event_heap)
+                source = network.sources[index]
+                for packet in source.packets_for_cycle(cycle, sim.next_packet_id):
+                    packet.measured = measure_start <= cycle < measure_end
+                    sim.all_packets.append(packet)
+                    interfaces[packet.src_node].offer_packet(packet)
+                    active_nis.add(packet.src_node)
+                heapq.heappush(event_heap, (source.next_event_cycle, index))
+
+            moved = 0
+            if active_nis:
+                drained = []
+                for node in sorted(active_nis):
+                    interface = interfaces[node]
+                    injected = interface.inject(cycle, LOCAL)
+                    if injected:
+                        moved += injected
+                        active_routers.add(node)
+                    if not interface.backlog_flits:
+                        drained.append(node)
+                for node in drained:
+                    active_nis.discard(node)
+
+            if active_routers:
+                sweep = sorted(active_routers)
+                swept = set(sweep)
+                sweep_pos[0] = 0
+                while sweep_pos[0] < len(sweep):
+                    moved += routers[sweep[sweep_pos[0]]].step(cycle, deliver)
+                    sweep_pos[0] += 1
+                for node in sweep:
+                    if routers[node].is_idle():
+                        active_routers.discard(node)
+
+            if moved:
+                last_progress = cycle
+            elif (
+                cycle - last_progress > DEADLOCK_WINDOW
+                and network.total_buffered_flits() > 0
+            ):
+                raise SimulationError(
+                    f"deadlock: no flit moved since cycle {last_progress} "
+                    f"with {network.total_buffered_flits()} flits buffered"
+                )
+            cycle += 1

@@ -1,0 +1,231 @@
+"""The event-driven engine: heap-scheduled time, all dead cycles skipped.
+
+The cycle engine touches every *active* component every cycle; at low load
+that is mostly no-op work — a router waiting seven pipeline cycles for a
+flit to become visible, or twenty cycles for a slow link's token bucket to
+accumulate one token, is stepped at every one of them.  This engine steps a
+component only at cycles where its state can actually change, and advances
+time directly to the next such cycle.
+
+Wake sources (all exact, none heuristic):
+
+* **sources** — a heap keyed by each injector's ``next_event_cycle``;
+* **pipeline visibility** — a flit pushed at cycle ``c`` becomes
+  head-of-line-visible no earlier than ``c + router_delay``; every push
+  schedules that wake;
+* **token readiness** — the refill schedule is deterministic, so
+  ``tokens_ready_cycle`` predicts (bit-exactly) when a starved link can
+  move again; routers self-report it via ``next_action_cycle``;
+* **credit returns** — a router that moved flits popped input buffers,
+  returning credits upstream: upstream routers are woken (same cycle when
+  they sort after the mover, mirroring the ascending-id sweep; next cycle
+  otherwise), and the local NI is woken in case the pop freed its slot;
+* **post-move re-arbitration** — any router that moved wakes itself next
+  cycle (a released output port re-arbitrates then, exactly when the
+  cycle engine would).
+
+Equivalence argument (property-tested in ``tests/properties``): a step
+skipped by this engine is one the active-set loop would have executed as a
+pure no-op — no arbitration can succeed (no newly visible head), no flit
+can move (no token became ready, no credit or flit arrived) — and token
+refills, the only skipped side effect, are replayed bit-exactly by
+``refill_to`` on the next real step.  Within a processed cycle the phase
+order (sources, NIs in ascending node order, routers in ascending id with
+mid-cycle insertion) is the cycle engine's own.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.simnoc.engines.base import register_engine
+from repro.simnoc.engines.cycle import DEADLOCK_WINDOW
+from repro.simnoc.router import LOCAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnoc.simulator import Simulator
+
+
+@register_engine("event")
+class EventEngine:
+    """Event-driven time advance over the same model components."""
+
+    name = "event"
+
+    def run(self, sim: "Simulator") -> None:
+        network = sim.network
+        config = sim.config
+        trace = sim.trace
+        routers = network.routers
+        interfaces = network.interfaces
+        delay = config.router_delay
+        measure_start = config.warmup_cycles
+        measure_end = config.warmup_cycles + config.measure_cycles
+        total_cycles = config.total_cycles
+        last_progress = 0
+
+        # Wake heaps with exact-duplicate suppression (a component woken
+        # twice for one cycle is still stepped once).
+        router_wakes: list[tuple[int, int]] = []
+        router_scheduled: set[tuple[int, int]] = set()
+        ni_wakes: list[tuple[int, int]] = []
+        ni_scheduled: set[tuple[int, int]] = set()
+
+        def wake_router(node: int, cycle: int) -> None:
+            if cycle >= total_cycles:
+                return
+            key = (cycle, node)
+            if key not in router_scheduled:
+                router_scheduled.add(key)
+                heapq.heappush(router_wakes, key)
+
+        def wake_ni(node: int, cycle: int) -> None:
+            if cycle >= total_cycles:
+                return
+            key = (cycle, node)
+            if key not in ni_scheduled:
+                ni_scheduled.add(key)
+                heapq.heappush(ni_wakes, key)
+
+        source_heap = [
+            (source.next_event_cycle, index)
+            for index, source in enumerate(network.sources)
+        ]
+        heapq.heapify(source_heap)
+
+        # Per-cycle router sweep state, shared with the deliver closure
+        # (same ascending-id discipline as the cycle engine's sweep).
+        sweep: list[int] = []
+        swept: set[int] = set()
+        sweep_pos = [0]
+
+        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
+            if trace is not None:
+                trace.record(from_node, to_key, flit, cycle)
+            if to_key == LOCAL:
+                interfaces[from_node].eject(flit, cycle)
+                return
+            routers[to_key].inputs[from_node].push(flit, cycle)
+            # The flit clears the receiver's pipeline router_delay cycles
+            # from now; until then its arrival cannot change any decision.
+            wake_router(to_key, cycle + delay)
+
+        upstream_keys = {
+            node: [key for key in router.inputs if key != LOCAL]
+            for node, router in routers.items()
+        }
+
+        def activate_upstream(node: int, cycle: int) -> None:
+            """Credit-return wakes after ``node`` popped input buffers.
+
+            Only upstream routers with a worm allocated toward ``node`` can
+            act on the credit (arbitration ignores credits), hence the
+            ``awaits_credit`` probe.  The cycle engine steps routers in
+            ascending id, so an upstream router sorting *after* the mover
+            sees returned credits in the same cycle (insert into the live
+            sweep); one sorting *before* it sees them next cycle.
+            """
+            for from_key in upstream_keys[node]:
+                if not routers[from_key].awaits_credit(node):
+                    continue
+                if from_key > node:
+                    if from_key not in swept:
+                        bisect.insort(sweep, from_key, lo=sweep_pos[0] + 1)
+                        swept.add(from_key)
+                else:
+                    wake_router(from_key, cycle + 1)
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        while True:
+            cycle = total_cycles
+            if source_heap and source_heap[0][0] < cycle:
+                cycle = source_heap[0][0]
+            if router_wakes and router_wakes[0][0] < cycle:
+                cycle = router_wakes[0][0]
+            if ni_wakes and ni_wakes[0][0] < cycle:
+                cycle = ni_wakes[0][0]
+
+            # Watchdog over the skipped gap: the cycle engine would have
+            # raised at last_progress + DEADLOCK_WINDOW + 1 had it scanned
+            # these (provably movement-free) cycles one by one.
+            deadline = last_progress + DEADLOCK_WINDOW + 1
+            if (
+                deadline < min(cycle, total_cycles)
+                and network.total_buffered_flits() > 0
+            ):
+                raise SimulationError(
+                    f"deadlock: no flit moved since cycle {last_progress} "
+                    f"with {network.total_buffered_flits()} flits buffered"
+                )
+            if cycle >= total_cycles:
+                break
+
+            moved_total = 0
+
+            # Phase 0: sources whose firing time has arrived.
+            while source_heap and source_heap[0][0] <= cycle:
+                _, index = heappop(source_heap)
+                source = network.sources[index]
+                for packet in source.packets_for_cycle(cycle, sim.next_packet_id):
+                    packet.measured = measure_start <= cycle < measure_end
+                    sim.all_packets.append(packet)
+                    interfaces[packet.src_node].offer_packet(packet)
+                    wake_ni(packet.src_node, cycle)
+                heappush(source_heap, (source.next_event_cycle, index))
+
+            # Phase 1: NI injections, ascending node order (push-time dedup
+            # guarantees the popped nodes are unique).
+            ni_nodes = []
+            while ni_wakes and ni_wakes[0][0] <= cycle:
+                key = heappop(ni_wakes)
+                ni_scheduled.discard(key)
+                ni_nodes.append(key[1])
+            ni_nodes.sort()
+            for node in ni_nodes:
+                interface = interfaces[node]
+                injected = interface.inject(cycle, LOCAL)
+                if injected:
+                    moved_total += injected
+                    wake_router(node, cycle + delay)
+                    if interface.backlog_flits:
+                        wake_ni(node, cycle + 1)
+                # A blocked NI (no free slot) is re-woken by the router's
+                # next pop — see the moved>0 handling below.
+
+            # Phase 2: routers due this cycle, ascending id with mid-cycle
+            # insertion for same-cycle credit visibility.
+            sweep = []
+            while router_wakes and router_wakes[0][0] <= cycle:
+                key = heappop(router_wakes)
+                router_scheduled.discard(key)
+                sweep.append(key[1])
+            sweep.sort()
+            swept = set(sweep)
+            sweep_pos[0] = 0
+            while sweep_pos[0] < len(sweep):
+                node = sweep[sweep_pos[0]]
+                router = routers[node]
+                moved = router.step(cycle, deliver)
+                if moved:
+                    moved_total += moved
+                    # Moves pop input buffers: credits go upstream and the
+                    # local NI may have regained its slot.
+                    activate_upstream(node, cycle)
+                    if interfaces[node].backlog_flits:
+                        wake_ni(node, cycle + 1)
+                    if router.last_step_released:
+                        # A tail freed an output port: waiting heads (and
+                        # the head its pop exposed) re-arbitrate next cycle.
+                        wake_router(node, cycle + 1)
+                nxt = router.next_action_cycle(cycle)
+                if nxt is not None:
+                    wake_router(node, nxt)
+                sweep_pos[0] += 1
+
+            if moved_total:
+                last_progress = cycle

@@ -1,0 +1,218 @@
+"""The model layer's contracts: what routers and traffic injectors must be.
+
+``simnoc`` is split into two layers (see ``ARCHITECTURE.md``):
+
+* the **model layer** — routers, network interfaces, links and traffic
+  injectors, composable components that define *what* is simulated;
+* the **engine layer** (:mod:`repro.simnoc.engines`) — interchangeable
+  backends that define *how* simulated time advances (cycle-accurate scan
+  or event-driven skipping).
+
+This module holds the small structural protocols the engines program
+against, plus the registries that make both router models and traffic
+patterns pluggable: adding a new router or injector is one decorator, not
+an edit to the network builder or the engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnoc.packet import Packet
+
+
+@runtime_checkable
+class RouterModel(Protocol):
+    """What every router implementation must expose to the engines.
+
+    A router owns input buffers (``inputs``, keyed by upstream node id or
+    ``LOCAL``) and output ports (``outputs``, keyed by downstream node id or
+    ``LOCAL`` for ejection).  The engines never look inside beyond these
+    four methods plus the two port dicts the builder wires.
+    """
+
+    node: int
+    inputs: dict[int, Any]
+    outputs: dict[int, Any]
+
+    def step(self, cycle: int, deliver: Callable) -> int:
+        """Advance one cycle; return the number of flits moved."""
+        ...
+
+    def buffered_flits(self) -> int:
+        """Total flits sitting in this router's input buffers."""
+        ...
+
+    def is_idle(self) -> bool:
+        """True when stepping would be a no-op (modulo token refills)."""
+        ...
+
+    def next_action_cycle(self, cycle: int) -> int | None:
+        """Earliest future cycle a step could change state *by itself*.
+
+        ``None`` means only an external event (flit arrival, credit return)
+        can make this router act again.  The event engine uses this to skip
+        dead cycles; returning a cycle earlier than necessary is safe
+        (a spurious wake is a no-op step), missing one is not.
+        """
+        ...
+
+
+@runtime_checkable
+class TrafficSource(Protocol):
+    """What every traffic injector must expose to the engines.
+
+    A source owns one stream of packets entering the network at
+    ``src_node``.  Engines poll it with :meth:`packets_for_cycle` (cycle
+    engines, every cycle) or schedule it by :attr:`next_event_cycle`
+    (active-set and event engines).
+    """
+
+    src_node: int
+
+    def packets_for_cycle(
+        self, cycle: int, next_packet_id: Callable[[], int]
+    ) -> "list[Packet]":
+        """Packets whose creation time falls on this cycle (possibly none)."""
+        ...
+
+    @property
+    def next_event_cycle(self) -> int:
+        """First integer cycle at which the source can produce a packet."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# router-model registry
+# ----------------------------------------------------------------------
+#: ``factory(node, input_keys, output_specs, config) -> RouterModel``.
+RouterFactory = Callable[..., RouterModel]
+
+#: One registered router model: the factory plus the flow-control fact the
+#: network builder needs — whether input buffering (and therefore the
+#: credit budget a downstream FIFO grants upstream) is per virtual channel
+#: (``config.effective_vc_depth`` per lane) or per physical link
+#: (``config.buffer_depth``).  Declared at registration so the builder
+#: never guesses from the model's name.
+_ROUTER_MODELS: dict[str, tuple[RouterFactory, bool]] = {}
+
+
+def register_router_model(
+    name: str, *, per_lane_buffers: bool = False
+) -> Callable[[RouterFactory], RouterFactory]:
+    """Decorator registering a router factory under ``name``.
+
+    The factory signature is ``(node, input_keys, output_specs, config)``
+    where ``output_specs`` maps downstream key to ``(rate, credits)`` and
+    ``config`` is the run's :class:`~repro.simnoc.config.SimConfig`.
+
+    Args:
+        name: registry key (``SimConfig.router_model`` values).
+        per_lane_buffers: True when the model buffers per virtual channel,
+            sized ``config.effective_vc_depth`` per lane; False when it has
+            one ``config.buffer_depth`` FIFO per physical link.  The
+            builder wires downstream credits from this declaration.
+    """
+
+    def decorate(factory: RouterFactory) -> RouterFactory:
+        if name in _ROUTER_MODELS:
+            raise SimulationError(f"router model {name!r} is already registered")
+        _ROUTER_MODELS[name] = (factory, per_lane_buffers)
+        return factory
+
+    return decorate
+
+
+def get_router_model(name: str) -> RouterFactory:
+    """Resolve a router factory by name.
+
+    Raises:
+        SimulationError: for unknown names; the message lists valid ones.
+    """
+    return _router_model_entry(name)[0]
+
+
+def router_model_uses_lanes(name: str) -> bool:
+    """Whether the named model declared per-virtual-channel buffering."""
+    return _router_model_entry(name)[1]
+
+
+def _router_model_entry(name: str) -> tuple[RouterFactory, bool]:
+    _ensure_models_loaded()
+    try:
+        return _ROUTER_MODELS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown router model {name!r}; known: {', '.join(list_router_models())}"
+        ) from None
+
+
+def list_router_models() -> tuple[str, ...]:
+    """All registered router model names, sorted."""
+    _ensure_models_loaded()
+    return tuple(sorted(_ROUTER_MODELS))
+
+
+# ----------------------------------------------------------------------
+# traffic-pattern registry
+# ----------------------------------------------------------------------
+#: ``factory(topology, config, injection_rate) -> list[TrafficSource]``.
+TrafficFactory = Callable[..., "list[TrafficSource]"]
+
+_TRAFFIC_PATTERNS: dict[str, TrafficFactory] = {}
+
+#: The commodity-driven pattern handled by ``build_network`` itself (it
+#: needs the mapped core graph and a routing result, which synthetic
+#: patterns do not).  Kept here so surfaces can enumerate every pattern.
+TRACE_PATTERN = "trace"
+
+
+def register_traffic_pattern(name: str) -> Callable[[TrafficFactory], TrafficFactory]:
+    """Decorator registering a synthetic traffic factory under ``name``.
+
+    The factory signature is ``(topology, config, injection_rate)`` with
+    ``injection_rate`` in flits/cycle per injecting node; it returns one
+    :class:`TrafficSource` per injecting node.
+    """
+
+    def decorate(factory: TrafficFactory) -> TrafficFactory:
+        if name == TRACE_PATTERN or name in _TRAFFIC_PATTERNS:
+            raise SimulationError(f"traffic pattern {name!r} is already registered")
+        _TRAFFIC_PATTERNS[name] = factory
+        return factory
+
+    return decorate
+
+
+def get_traffic_pattern(name: str) -> TrafficFactory:
+    """Resolve a synthetic traffic factory by name.
+
+    Raises:
+        SimulationError: for unknown names (including ``"trace"``, which is
+            not synthetic — use ``build_network`` for commodity traffic).
+    """
+    _ensure_models_loaded()
+    try:
+        return _TRAFFIC_PATTERNS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown traffic pattern {name!r}; known synthetic patterns: "
+            f"{', '.join(sorted(_TRAFFIC_PATTERNS))} (plus {TRACE_PATTERN!r} "
+            f"for commodity-driven traffic)"
+        ) from None
+
+
+def list_traffic_patterns() -> tuple[str, ...]:
+    """Every traffic pattern name, ``"trace"`` first, synthetics sorted."""
+    _ensure_models_loaded()
+    return (TRACE_PATTERN, *sorted(_TRAFFIC_PATTERNS))
+
+
+def _ensure_models_loaded() -> None:
+    """Import the modules whose decorators populate the registries."""
+    import repro.simnoc.router  # noqa: F401  (registers "wormhole")
+    import repro.simnoc.synthetic  # noqa: F401  (registers synthetic patterns)
+    import repro.simnoc.vc_router  # noqa: F401  (registers "wormhole-vc")

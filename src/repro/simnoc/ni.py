@@ -5,6 +5,13 @@ needs: it owns an unbounded injection queue of flits (the core can always
 hand data over; backpressure shows up as queueing delay, which is part of
 packet latency), feeds the router's local input port one flit per cycle
 when a buffer slot is free, and timestamps deliveries on the ejection side.
+
+When the attached router runs virtual channels, the NI is also where a
+packet is pinned to its lane: ``commodity_index % num_vcs``, so every packet
+of one flow rides the same VC end to end and per-flow delivery order is
+preserved (packets of one flow cannot overtake each other on another lane).
+The injection queue stays a single FIFO — a head-of-line packet whose lane
+is full stalls later packets, which is the backpressure a real NI sees.
 """
 
 from __future__ import annotations
@@ -12,15 +19,15 @@ from __future__ import annotations
 from collections import deque
 
 from repro.simnoc.packet import Flit, Packet, is_last_flit, make_flits
-from repro.simnoc.router import Router
 
 
 class NetworkInterface:
     """Injection/ejection endpoint attached to one router's local port."""
 
-    def __init__(self, node: int, router: Router) -> None:
+    def __init__(self, node: int, router, num_vcs: int = 1) -> None:
         self.node = node
         self.router = router
+        self.num_vcs = num_vcs
         self.injection_queue: deque[Flit] = deque()
         self.delivered_packets: list[Packet] = []
         self.flits_injected = 0
@@ -30,7 +37,8 @@ class NetworkInterface:
     # injection side
     # ------------------------------------------------------------------
     def offer_packet(self, packet: Packet) -> None:
-        """Queue a packet's flits for injection."""
+        """Queue a packet's flits for injection (assigning its lane)."""
+        packet.vc = packet.commodity_index % self.num_vcs
         self.injection_queue.extend(make_flits(packet))
 
     def inject(self, cycle: int, local_key: int) -> int:
@@ -41,9 +49,10 @@ class NetworkInterface:
         if not self.injection_queue:
             return 0
         port = self.router.inputs[local_key]
-        if port.free_slots <= 0:
+        flit = self.injection_queue[0]
+        if not port.can_accept(flit):
             return 0
-        flit = self.injection_queue.popleft()
+        self.injection_queue.popleft()
         if flit.is_head and flit.packet.injected_cycle is None:
             flit.packet.injected_cycle = cycle
         port.push(flit, cycle)

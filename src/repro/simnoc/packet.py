@@ -30,6 +30,8 @@ class Packet:
         injected_cycle: cycle the head flit entered the network (set by NI).
         delivered_cycle: cycle the tail flit left the network (set by sink).
         measured: whether this packet counts toward latency statistics.
+        vc: virtual channel the packet rides end to end (assigned by the
+            injecting NI; always 0 on the plain wormhole router).
     """
 
     packet_id: int
@@ -42,6 +44,7 @@ class Packet:
     injected_cycle: int | None = None
     delivered_cycle: int | None = None
     measured: bool = True
+    vc: int = 0
 
     @property
     def latency(self) -> int:

@@ -24,11 +24,87 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import fastpath
 from repro.errors import SimulationError
+from repro.simnoc.models import register_router_model
 from repro.simnoc.packet import Flit, is_last_flit
 
 #: Port key for the local (core-side) injection/ejection direction.
 LOCAL = -1
+
+
+def refill_bucket_to(port, cycle: int) -> None:
+    """Apply every per-cycle token refill owed up to (and including) ``cycle``.
+
+    Shared by every output-port implementation (``port`` needs ``tokens``,
+    ``rate`` and ``last_refill``).  Replays ``min(tokens + rate, cap)`` once
+    per skipped cycle rather than multiplying ``rate`` by the gap, so the
+    token value is exactly what a cycle-by-cycle simulation would have
+    produced (floating-point accumulation order matters); the replay stops
+    as soon as the bucket saturates, since ``cap`` is a fixpoint of the
+    update.  The event engine's bit-exactness rests on this function and
+    :func:`bucket_tokens_ready_cycle` performing the *same* operation
+    sequence — that is why there is exactly one copy of each.
+    """
+    pending = cycle - port.last_refill
+    if pending <= 0:
+        return
+    port.last_refill = cycle
+    cap = max(1.0, port.rate) + 1.0
+    tokens = port.tokens
+    for _ in range(pending):
+        tokens = min(tokens + port.rate, cap)
+        if tokens == cap:
+            break
+    port.tokens = tokens
+
+
+def bucket_tokens_ready_cycle(port, cycle: int) -> int:
+    """First cycle ``>= cycle`` at which the bucket holds a whole token.
+
+    Replays the exact per-cycle update :func:`refill_bucket_to` will
+    perform (same floating-point operation sequence), so the event engine's
+    prediction lands on precisely the cycle a cycle-by-cycle simulation
+    would first move a flit.
+    """
+    cap = max(1.0, port.rate) + 1.0
+    tokens = port.tokens
+    ready = cycle
+    while tokens < 1.0:
+        tokens = min(tokens + port.rate, cap)
+        ready += 1
+    return ready
+
+
+def resolve_next_hop(node: int, outputs: dict, flit: Flit) -> int:
+    """Where ``flit``'s packet goes next from ``node`` (``LOCAL`` = eject).
+
+    The packet carries its full source route; the hop after ``node`` is the
+    next output, and arriving at the route's last node means ejection.
+    Shared by every router model — routing is a property of the packet, not
+    of the switch microarchitecture.
+
+    Raises:
+        SimulationError: when the route does not contain this node or
+            requests a missing output port.
+    """
+    path = flit.packet.path
+    try:
+        position = path.index(node)
+    except ValueError:
+        raise SimulationError(
+            f"packet {flit.packet.packet_id} routed through node "
+            f"{node} not on its path {path}"
+        ) from None
+    if position == len(path) - 1:
+        return LOCAL
+    nxt = path[position + 1]
+    if nxt not in outputs:
+        raise SimulationError(
+            f"node {node} has no output toward {nxt} "
+            f"(packet {flit.packet.packet_id})"
+        )
+    return nxt
 
 
 @dataclass
@@ -48,6 +124,10 @@ class InputPort:
     @property
     def free_slots(self) -> int:
         return self.capacity - len(self.queue)
+
+    def can_accept(self, flit: Flit) -> bool:
+        """Whether a push of ``flit`` would fit (the NI's backpressure probe)."""
+        return self.free_slots > 0
 
     def push(self, flit: Flit, cycle: int) -> None:
         if self.free_slots <= 0:
@@ -99,25 +179,12 @@ class OutputPort:
         self.tokens = min(self.tokens + self.rate, max(1.0, self.rate) + 1.0)
 
     def refill_to(self, cycle: int) -> None:
-        """Apply every per-cycle refill owed up to (and including) ``cycle``.
+        """Apply every refill owed up to ``cycle`` (:func:`refill_bucket_to`)."""
+        refill_bucket_to(self, cycle)
 
-        Replays ``min(tokens + rate, cap)`` once per skipped cycle rather
-        than multiplying ``rate`` by the gap, so the token value is exactly
-        what a cycle-by-cycle simulation would have produced (floating-point
-        accumulation order matters); the replay stops as soon as the bucket
-        saturates, since ``cap`` is a fixpoint of the update.
-        """
-        pending = cycle - self.last_refill
-        if pending <= 0:
-            return
-        self.last_refill = cycle
-        cap = max(1.0, self.rate) + 1.0
-        tokens = self.tokens
-        for _ in range(pending):
-            tokens = min(tokens + self.rate, cap)
-            if tokens == cap:
-                break
-        self.tokens = tokens
+    def tokens_ready_cycle(self, cycle: int) -> int:
+        """First cycle with a whole token (:func:`bucket_tokens_ready_cycle`)."""
+        return bucket_tokens_ready_cycle(self, cycle)
 
     @property
     def can_send(self) -> bool:
@@ -155,6 +222,12 @@ class Router:
             for key, (rate, credits) in output_specs.items()
         }
         self.output_order = sorted(self.outputs)
+        #: True when the last step released an output port (a tail passed).
+        #: The event engine re-wakes the router next cycle exactly then —
+        #: a release is the only post-move state change that enables an
+        #: action no other wake source predicts (re-arbitration of waiting
+        #: heads, including the next head the tail's pop just exposed).
+        self.last_step_released = False
 
     # ------------------------------------------------------------------
     # routing
@@ -170,23 +243,7 @@ class Router:
             SimulationError: when the route does not contain this node or
                 requests a missing output port.
         """
-        path = flit.packet.path
-        try:
-            position = path.index(self.node)
-        except ValueError:
-            raise SimulationError(
-                f"packet {flit.packet.packet_id} routed through node "
-                f"{self.node} not on its path {path}"
-            ) from None
-        if position == len(path) - 1:
-            return LOCAL
-        nxt = path[position + 1]
-        if nxt not in self.outputs:
-            raise SimulationError(
-                f"node {self.node} has no output toward {nxt} "
-                f"(packet {flit.packet.packet_id})"
-            )
-        return nxt
+        return resolve_next_hop(self.node, self.outputs, flit)
 
     # ------------------------------------------------------------------
     # per-cycle operation
@@ -195,12 +252,13 @@ class Router:
         """Round-robin among inputs whose visible head requests this output."""
         n = len(self.input_order)
         for offset in range(n):
-            key = self.input_order[(port.rr_pointer + offset) % n]
+            index = (port.rr_pointer + offset) % n
+            key = self.input_order[index]
             flit = self.inputs[key].visible_head(cycle, self.router_delay)
             if flit is None or not flit.is_head:
                 continue
             if self.next_hop_key(flit) == port.to_key:
-                port.rr_pointer = (self.input_order.index(key) + 1) % n
+                port.rr_pointer = (index + 1) % n
                 return key
         return None
 
@@ -215,41 +273,96 @@ class Router:
 
         Returns:
             Number of flits moved (the simulator's progress counter).
+
+        With fast paths enabled, a pre-pass probes each input once and only
+        touches output ports that hold a worm or are requested by a visible
+        head — everything else is skipped wholesale (skipped token refills
+        replay bit-exactly on the next real touch, the same invariant that
+        lets whole routers be skipped).  The scalar reference scans every
+        port like the seed did; both produce identical flit movements.
         """
         moved = 0
-        for out_key in self.output_order:
-            port = self.outputs[out_key]
-            port.refill_to(cycle)
-            if port.owner is None:
-                winner = self._arbitrate(port, cycle)
-                if winner is None:
+        self.last_step_released = False
+        if fastpath.fast_paths_enabled():
+            requested = self._probe_requests(cycle)
+            for out_key in self.output_order:
+                port = self.outputs[out_key]
+                if port.owner is None and (
+                    requested is None or out_key not in requested
+                ):
                     continue
-                port.owner = winner
-                head = self.inputs[winner].visible_head(cycle, self.router_delay)
-                assert head is not None
-                port.owner_packet_id = head.packet.packet_id
-            # Links faster than one flit/cycle (rate > 1) may move several
-            # flits per cycle — the token bucket provides the budget.
-            while port.owner is not None and port.can_send:
-                source = self.inputs[port.owner]
-                flit = source.visible_head(cycle, self.router_delay)
-                if flit is None or flit.packet.packet_id != port.owner_packet_id:
-                    break  # worm's next flit not here/ready yet
-                if self.next_hop_key(flit) != port.to_key:  # pragma: no cover
-                    raise SimulationError(
-                        f"worm of packet {flit.packet.packet_id} changed direction"
-                    )
-                source.pop()
-                port.tokens -= 1.0
-                if port.credits != float("inf"):
-                    port.credits -= 1.0
-                port.flits_carried += 1
-                deliver(self.node, port.to_key, flit, cycle)
-                moved += 1
-                if is_last_flit(flit):
-                    port.owner = None
-                    port.owner_packet_id = None
+                port.refill_to(cycle)
+                advanced = self._advance_port(port, cycle, deliver)
+                if advanced:
+                    moved += advanced
+                    # A pop may have exposed the next packet's head at the
+                    # front of an input FIFO; the seed scan would let a
+                    # later-ordered port arbitrate it this same cycle, so
+                    # refresh the request set before the skip decisions.
+                    requested = self._probe_requests(cycle)
+        else:
+            for out_key in self.output_order:
+                port = self.outputs[out_key]
+                port.refill_to(cycle)
+                moved += self._advance_port(port, cycle, deliver)
         return moved
+
+    def _probe_requests(self, cycle: int) -> set[int] | None:
+        """Output keys some currently visible head flit requests."""
+        requested: set[int] | None = None
+        for key in self.input_order:
+            flit = self.inputs[key].visible_head(cycle, self.router_delay)
+            if flit is not None and flit.is_head:
+                out = self.next_hop_key(flit)
+                if requested is None:
+                    requested = {out}
+                else:
+                    requested.add(out)
+        return requested
+
+    def _advance_port(self, port: OutputPort, cycle: int, deliver) -> int:
+        """Arbitrate (if free) and move the allocated worm's ready flits."""
+        moved = 0
+        if port.owner is None:
+            winner = self._arbitrate(port, cycle)
+            if winner is None:
+                return 0
+            port.owner = winner
+            head = self.inputs[winner].visible_head(cycle, self.router_delay)
+            assert head is not None
+            port.owner_packet_id = head.packet.packet_id
+        # Links faster than one flit/cycle (rate > 1) may move several
+        # flits per cycle — the token bucket provides the budget.
+        while port.owner is not None and port.can_send:
+            source = self.inputs[port.owner]
+            flit = source.visible_head(cycle, self.router_delay)
+            if flit is None or flit.packet.packet_id != port.owner_packet_id:
+                break  # worm's next flit not here/ready yet
+            if self.next_hop_key(flit) != port.to_key:  # pragma: no cover
+                raise SimulationError(
+                    f"worm of packet {flit.packet.packet_id} changed direction"
+                )
+            source.pop()
+            port.tokens -= 1.0
+            if port.credits != float("inf"):
+                port.credits -= 1.0
+            port.flits_carried += 1
+            deliver(self.node, port.to_key, flit, cycle)
+            moved += 1
+            if is_last_flit(flit):
+                port.owner = None
+                port.owner_packet_id = None
+                self.last_step_released = True
+        return moved
+
+    def awaits_credit(self, to_key: int) -> bool:
+        """Whether a credit returned on ``to_key`` could unblock a move.
+
+        Credits only gate moves of an *allocated* worm; arbitration ignores
+        them.  The event engine uses this O(1) probe to decide whether a
+        downstream pop must wake this router.
+        """
+        return self.outputs[to_key].owner is not None
 
     def buffered_flits(self) -> int:
         return sum(port.occupancy for port in self.inputs.values())
@@ -269,3 +382,58 @@ class Router:
             if port.owner is not None:
                 return False
         return True
+
+    def next_action_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle after ``cycle`` a step could change state by itself.
+
+        Called by the event engine right after :meth:`step` ran at
+        ``cycle``.  Only two things make a stalled router act again without
+        an external event (arrival or credit return):
+
+        * a queued flit finishing the router pipeline — its head-of-line
+          visibility cycle is ``enter + router_delay``;
+        * an allocated worm waiting for link tokens — the refill schedule
+          is deterministic, so the cycle the bucket reaches one token is
+          :meth:`OutputPort.tokens_ready_cycle`.
+
+        Already-visible-but-blocked heads contribute no candidate: they are
+        waiting on a port release (a move in this router — the engine
+        reschedules after any move), a credit, or an arrival, all of which
+        generate their own wake events.
+        """
+        best: int | None = None
+        for port in self.inputs.values():
+            if port.queue:
+                enter, _flit = port.queue[0]
+                visible = enter + self.router_delay
+                if visible > cycle and (best is None or visible < best):
+                    best = visible
+        for out_key in self.output_order:
+            port = self.outputs[out_key]
+            if port.owner is None or port.tokens >= 1.0 or port.credits < 1.0:
+                continue
+            source = self.inputs[port.owner]
+            flit = source.visible_head(cycle, self.router_delay)
+            if flit is None or flit.packet.packet_id != port.owner_packet_id:
+                continue  # waiting on an arrival or the pipeline, not tokens
+            ready = port.tokens_ready_cycle(cycle)
+            if best is None or ready < best:
+                best = ready
+        return best
+
+
+@register_router_model("wormhole")
+def build_wormhole_router(
+    node: int,
+    input_keys: list[int],
+    output_specs: dict[int, tuple[float, float]],
+    config,
+) -> Router:
+    """Factory for the paper's single-channel wormhole router."""
+    return Router(
+        node,
+        input_keys,
+        output_specs,
+        buffer_depth=config.buffer_depth,
+        router_delay=config.router_delay,
+    )

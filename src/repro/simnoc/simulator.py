@@ -1,44 +1,36 @@
-"""The cycle-driven simulation loop and its report.
+"""The simulation front door: pick an engine, run it, build the report.
 
-Per cycle: traffic sources create packets (handed to their NI), NIs inject
-one flit each into their router's local port, then every router advances its
-output ports (arbitration, wormhole forwarding, link serialization, credit
-flow control).  Flits delivered to a router's ejection port reach the NI,
-which timestamps complete packets.
+The heavy lifting lives in the two layers this module stitches together:
+the **model layer** (routers, NIs, traffic sources — built by
+:mod:`repro.simnoc.network`) and the **engine layer**
+(:mod:`repro.simnoc.engines` — cycle-accurate or event-driven time).
+:class:`Simulator` is the run context engines drive: it owns the network,
+the config, the optional trace recorder, the global packet-id counter and
+the statistics aggregation.
 
-Packets created during warmup or drain are excluded from statistics.  A
-watchdog aborts runs where no flit moves for a long stretch while traffic is
-in flight (wormhole + arbitrary multi-path source routing is not provably
-deadlock-free; at the evaluated loads deadlock does not occur, but silent
-hangs must not masquerade as results).
+Packets created during warmup or drain are excluded from statistics.  Every
+engine raises :class:`~repro.errors.SimulationError` on detected deadlock
+(wormhole + arbitrary multi-path source routing is not provably
+deadlock-free; silent hangs must not masquerade as results).
 """
 
 from __future__ import annotations
 
-import bisect
-import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro import fastpath
-from repro.errors import SimulationError
 from repro.graphs.commodities import Commodity
 from repro.graphs.topology import NoCTopology
-from repro.mapping.base import Mapping
 from repro.routing.base import RoutingResult
-from repro.simnoc.config import SimConfig
-from repro.simnoc.network import Network, build_network
-from repro.simnoc.packet import Packet
-from repro.simnoc.router import LOCAL
-from repro.simnoc.stats import (
-    LatencyStats,
-    per_commodity_jitter,
-    per_commodity_latency_std,
-    per_commodity_means,
-)
 
-#: Cycles without any flit movement (while flits are in flight) that count
-#: as a deadlock.
-DEADLOCK_WINDOW = 50_000
+if TYPE_CHECKING:  # pragma: no cover - avoids a mapping<->simnoc import cycle
+    from repro.mapping.base import Mapping
+from repro.simnoc.config import SimConfig
+from repro.simnoc.engines.base import get_engine
+from repro.simnoc.engines.cycle import DEADLOCK_WINDOW  # noqa: F401  (re-export)
+from repro.simnoc.network import Network, build_network, build_synthetic_network
+from repro.simnoc.packet import Packet
+from repro.simnoc.stats import FlowStats, LatencyStats, per_flow_stats
 
 
 @dataclass
@@ -51,6 +43,10 @@ class SimulationReport:
         packets_created / packets_delivered: totals including warmup/drain.
         cycles: cycles simulated.
         link_utilization: delivered flits / (rate * cycles) per link.
+        per_flow: full per-flow summaries (count, percentiles, std, jitter
+            and a power-of-two latency histogram) per commodity index.
+        link_flits: flits carried per directed link (the utilization
+            numerator, useful when comparing runs of different lengths).
     """
 
     stats: LatencyStats
@@ -61,209 +57,58 @@ class SimulationReport:
     link_utilization: dict[tuple[int, int], float]
     per_commodity_jitter: dict[int, float]
     per_commodity_latency_std: dict[int, float]
+    per_flow: dict[int, FlowStats] = field(default_factory=dict)
+    link_flits: dict[tuple[int, int], int] = field(default_factory=dict)
 
 
 class Simulator:
-    """Drives a :class:`Network` for a configured number of cycles.
+    """Drives a :class:`Network` through one configured simulation run.
 
     Args:
         network: the built network to simulate.
         trace: optional :class:`repro.simnoc.trace.TraceRecorder`; when
             given, every flit movement is recorded (bounded by the
             recorder's cap).
+        active_set: None = follow the global fast-path switch; True/False
+            forces the active-set or full-scan variant of the cycle engine
+            (the latter is the reference oracle the equivalence tests
+            compare against).  Ignored by the event engine.
+        engine: registered engine name — ``"cycle"`` (bit-exact reference)
+            or ``"event"`` (heap-scheduled, skips dead time).
     """
 
-    def __init__(self, network: Network, trace=None, active_set: bool | None = None) -> None:
+    def __init__(
+        self,
+        network: Network,
+        trace=None,
+        active_set: bool | None = None,
+        engine: str = "cycle",
+    ) -> None:
         self.network = network
         self.config = network.config
         self.trace = trace
-        #: None = follow the global fast-path switch; True/False forces the
-        #: active-set or full-scan cycle loop (the latter is the reference
-        #: oracle the equivalence tests compare against).
         self.active_set = active_set
+        self.engine_name = engine
         self._packet_counter = 0
-        self._all_packets: list[Packet] = []
+        self.all_packets: list[Packet] = []
 
-    def _next_packet_id(self) -> int:
+    def next_packet_id(self) -> int:
+        """Fresh globally unique packet id (engines pass this to sources)."""
         self._packet_counter += 1
         return self._packet_counter
 
     def run(self) -> SimulationReport:
         """Simulate warmup + measurement + drain and aggregate statistics.
 
-        Dispatches to the active-set cycle loop (skip idle routers/NIs,
-        fast-forward fully idle gaps) or the scan-everything reference loop;
-        both produce identical reports — see PERFORMANCE.md for the
-        invariants that make the skipping exact.
+        Every engine produces an identical report for identical inputs (the
+        property suite pins this); they differ only in wall-clock time.
 
         Raises:
-            SimulationError: on detected deadlock or when no measured packet
-                is delivered.
+            SimulationError: on detected deadlock, when no measured packet
+                is delivered, or for unknown engine names.
         """
-        use_active = (
-            self.active_set
-            if self.active_set is not None
-            else fastpath.fast_paths_enabled()
-        )
-        if use_active:
-            self._run_active_set()
-        else:
-            self._run_full_scan()
+        get_engine(self.engine_name).run(self)
         return self._build_report()
-
-    def _run_full_scan(self) -> None:
-        """The seed's cycle loop: every source, NI and router, every cycle."""
-        network = self.network
-        config = self.config
-        measure_start = config.warmup_cycles
-        measure_end = config.warmup_cycles + config.measure_cycles
-        last_progress = 0
-
-        trace = self.trace
-
-        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
-            if trace is not None:
-                trace.record(from_node, to_key, flit, cycle)
-            if to_key == LOCAL:
-                network.interfaces[from_node].eject(flit, cycle)
-            else:
-                network.routers[to_key].inputs[from_node].push(flit, cycle)
-
-        for cycle in range(config.total_cycles):
-            moved = 0
-            for source in network.sources:
-                for packet in source.packets_for_cycle(cycle, self._next_packet_id):
-                    packet.measured = measure_start <= cycle < measure_end
-                    self._all_packets.append(packet)
-                    network.interfaces[packet.src_node].offer_packet(packet)
-            for node in sorted(network.interfaces):
-                moved += network.interfaces[node].inject(cycle, LOCAL)
-            for node in sorted(network.routers):
-                moved += network.routers[node].step(cycle, deliver)
-
-            if moved:
-                last_progress = cycle
-            elif (
-                cycle - last_progress > DEADLOCK_WINDOW
-                and network.total_buffered_flits() > 0
-            ):
-                raise SimulationError(
-                    f"deadlock: no flit moved since cycle {last_progress} "
-                    f"with {network.total_buffered_flits()} flits buffered"
-                )
-
-    def _run_active_set(self) -> None:
-        """Cycle loop that only touches components with pending work.
-
-        Equivalence with :meth:`_run_full_scan` (the invariants the property
-        tests pin down):
-
-        * an NI with an empty injection queue and a router with no buffered
-          flits and no allocated wormhole are no-ops in the full scan except
-          for token refills, which :meth:`OutputPort.refill_to` replays
-          bit-exactly on re-activation;
-        * routers are stepped in ascending node id; a flit delivered
-          downstream mid-cycle activates its receiver, inserting it into the
-          current sweep iff its id is still ahead (the full scan would have
-          stepped it later this same cycle) — receivers behind the sweep
-          point were stepped as no-ops already and wake next cycle;
-        * sources sit in a heap keyed by their next firing cycle, so a
-          completely idle network (no backlog, no flits in flight) jumps
-          straight to the next injection without touching anything.
-        """
-        network = self.network
-        config = self.config
-        measure_start = config.warmup_cycles
-        measure_end = config.warmup_cycles + config.measure_cycles
-        total_cycles = config.total_cycles
-        last_progress = 0
-
-        trace = self.trace
-        routers = network.routers
-        interfaces = network.interfaces
-
-        active_routers: set[int] = set()
-        active_nis: set[int] = set()
-
-        # Per-cycle router sweep state, shared with the deliver closure.
-        sweep: list[int] = []
-        swept: set[int] = set()
-        sweep_pos = [0]
-
-        def deliver(from_node: int, to_key: int, flit, cycle: int) -> None:
-            if trace is not None:
-                trace.record(from_node, to_key, flit, cycle)
-            if to_key == LOCAL:
-                interfaces[from_node].eject(flit, cycle)
-                return
-            routers[to_key].inputs[from_node].push(flit, cycle)
-            active_routers.add(to_key)
-            if to_key not in swept and to_key > sweep[sweep_pos[0]]:
-                bisect.insort(sweep, to_key, lo=sweep_pos[0] + 1)
-                swept.add(to_key)
-
-        event_heap = [
-            (source.next_event_cycle, index)
-            for index, source in enumerate(network.sources)
-        ]
-        heapq.heapify(event_heap)
-
-        cycle = 0
-        while cycle < total_cycles:
-            if not active_routers and not active_nis:
-                # Fully idle: no flit buffered or in flight anywhere, so
-                # nothing can happen before the next source fires.
-                if not event_heap or event_heap[0][0] >= total_cycles:
-                    break
-                if event_heap[0][0] > cycle:
-                    cycle = event_heap[0][0]
-
-            while event_heap and event_heap[0][0] <= cycle:
-                _, index = heapq.heappop(event_heap)
-                source = network.sources[index]
-                for packet in source.packets_for_cycle(cycle, self._next_packet_id):
-                    packet.measured = measure_start <= cycle < measure_end
-                    self._all_packets.append(packet)
-                    interfaces[packet.src_node].offer_packet(packet)
-                    active_nis.add(packet.src_node)
-                heapq.heappush(event_heap, (source.next_event_cycle, index))
-
-            moved = 0
-            if active_nis:
-                drained = []
-                for node in sorted(active_nis):
-                    interface = interfaces[node]
-                    injected = interface.inject(cycle, LOCAL)
-                    if injected:
-                        moved += injected
-                        active_routers.add(node)
-                    if not interface.backlog_flits:
-                        drained.append(node)
-                for node in drained:
-                    active_nis.discard(node)
-
-            if active_routers:
-                sweep = sorted(active_routers)
-                swept = set(sweep)
-                sweep_pos[0] = 0
-                while sweep_pos[0] < len(sweep):
-                    moved += routers[sweep[sweep_pos[0]]].step(cycle, deliver)
-                    sweep_pos[0] += 1
-                for node in sweep:
-                    if routers[node].is_idle():
-                        active_routers.discard(node)
-
-            if moved:
-                last_progress = cycle
-            elif (
-                cycle - last_progress > DEADLOCK_WINDOW
-                and network.total_buffered_flits() > 0
-            ):
-                raise SimulationError(
-                    f"deadlock: no flit moved since cycle {last_progress} "
-                    f"with {network.total_buffered_flits()} flits buffered"
-                )
-            cycle += 1
 
     def _build_report(self) -> SimulationReport:
         network = self.network
@@ -277,19 +122,26 @@ class Simulator:
         stats = LatencyStats.from_packets(measured)
 
         utilization = {}
+        link_flits = {}
         for (src, dst), rate in network.link_rates.items():
             carried = network.routers[src].outputs[dst].flits_carried
             utilization[(src, dst)] = carried / (rate * config.total_cycles)
+            link_flits[(src, dst)] = carried
 
+        # One pass computes every per-flow figure; the flat per_commodity_*
+        # dicts are views of the same FlowStats, not second computations.
+        per_flow = per_flow_stats(measured)
         return SimulationReport(
             stats=stats,
-            per_commodity_latency=per_commodity_means(measured),
-            packets_created=len(self._all_packets),
+            per_commodity_latency={i: f.mean for i, f in per_flow.items()},
+            packets_created=len(self.all_packets),
             packets_delivered=len(delivered),
             cycles=config.total_cycles,
             link_utilization=utilization,
-            per_commodity_jitter=per_commodity_jitter(measured),
-            per_commodity_latency_std=per_commodity_latency_std(measured),
+            per_commodity_jitter={i: f.jitter for i, f in per_flow.items()},
+            per_commodity_latency_std={i: f.std for i, f in per_flow.items()},
+            per_flow=per_flow,
+            link_flits=link_flits,
         )
 
 
@@ -300,6 +152,7 @@ def simulate_mapping(
     config: SimConfig,
     link_rate_flits_per_cycle: float | None = None,
     bandwidth_scale: float = 1.0,
+    engine: str = "cycle",
 ) -> SimulationReport:
     """Convenience wrapper: build the network and run one simulation."""
     network = build_network(
@@ -310,11 +163,11 @@ def simulate_mapping(
         link_rate_flits_per_cycle=link_rate_flits_per_cycle,
         bandwidth_scale=bandwidth_scale,
     )
-    return Simulator(network).run()
+    return Simulator(network, engine=engine).run()
 
 
 def simulate_mapped_application(
-    mapping: Mapping,
+    mapping: "Mapping",
     routing: RoutingResult,
     config: SimConfig,
     **kwargs,
@@ -324,3 +177,22 @@ def simulate_mapped_application(
 
     commodities = build_commodities(mapping.core_graph, mapping)
     return simulate_mapping(mapping.topology, commodities, routing, config, **kwargs)
+
+
+def simulate_synthetic(
+    topology: NoCTopology,
+    config: SimConfig,
+    traffic: str,
+    injection_rate: float,
+    link_rate_flits_per_cycle: float | None = None,
+    engine: str = "cycle",
+) -> SimulationReport:
+    """Simulate a registered synthetic traffic pattern on a bare topology."""
+    network = build_synthetic_network(
+        topology,
+        config,
+        traffic,
+        injection_rate,
+        link_rate_flits_per_cycle=link_rate_flits_per_cycle,
+    )
+    return Simulator(network, engine=engine).run()

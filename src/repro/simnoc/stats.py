@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.simnoc.packet import Packet
@@ -57,16 +57,83 @@ class LatencyStats:
         )
 
 
-def per_commodity_means(packets: list[Packet]) -> dict[int, float]:
-    """Mean latency per commodity index over measured packets."""
-    sums: dict[int, float] = {}
-    counts: dict[int, int] = {}
+def latency_histogram(latencies: list[int]) -> list[int]:
+    """Power-of-two latency histogram: bin ``i`` counts ``[2**i, 2**(i+1))``.
+
+    Bin 0 covers latencies 0 and 1.  Exponential bins keep the payload tiny
+    (a 1M-cycle tail still fits in ~20 integers) while preserving the shape
+    that matters for saturation analysis: where the distribution's mass
+    sits and how heavy its tail is.  The list is trimmed to the last
+    non-empty bin, so it round-trips through JSON compactly.
+    """
+    if not latencies:
+        return []
+    bins = [0] * (max(latencies).bit_length() or 1)
+    for latency in latencies:
+        bins[max(0, latency.bit_length() - 1)] += 1
+    return bins
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Per-flow (per-commodity) latency summary over measured packets.
+
+    Attributes:
+        count: packets measured for this flow.
+        mean: average creation-to-delivery latency in cycles.
+        p50/p95: latency percentiles.
+        std: sample standard deviation of latencies.
+        jitter: std of gaps between adjacent deliveries (the paper's
+            definition — see :func:`per_commodity_jitter`).
+        histogram: power-of-two latency histogram
+            (see :func:`latency_histogram`).
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    std: float
+    jitter: float
+    histogram: list[int] = field(default_factory=list)
+
+
+def per_flow_stats(packets: list[Packet]) -> dict[int, FlowStats]:
+    """Full per-flow summaries (histogram included) over measured packets."""
+    latencies: dict[int, list[int]] = {}
+    deliveries: dict[int, list[int]] = {}
     for packet in packets:
-        if not packet.measured:
+        if not packet.measured or packet.delivered_cycle is None:
             continue
-        sums[packet.commodity_index] = sums.get(packet.commodity_index, 0.0) + packet.latency
-        counts[packet.commodity_index] = counts.get(packet.commodity_index, 0) + 1
-    return {index: sums[index] / counts[index] for index in sums}
+        latencies.setdefault(packet.commodity_index, []).append(packet.latency)
+        deliveries.setdefault(packet.commodity_index, []).append(
+            packet.delivered_cycle
+        )
+    flows: dict[int, FlowStats] = {}
+    for index, values in latencies.items():
+        values.sort()
+        times = sorted(deliveries[index])
+        gaps = [float(b - a) for a, b in zip(times, times[1:])]
+
+        def percentile(fraction: float) -> float:
+            position = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
+            return float(values[position])
+
+        flows[index] = FlowStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            std=_std([float(v) for v in values]),
+            jitter=_std(gaps),
+            histogram=latency_histogram(values),
+        )
+    return flows
+
+
+def per_commodity_means(packets: list[Packet]) -> dict[int, float]:
+    """Mean latency per commodity index (a view of :func:`per_flow_stats`)."""
+    return {index: flow.mean for index, flow in per_flow_stats(packets).items()}
 
 
 def _std(values: list[float]) -> float:
@@ -82,30 +149,13 @@ def per_commodity_jitter(packets: list[Packet]) -> dict[int, float]:
     The paper defines jitter as "the time between the delivery of adjacent
     packets" and motivates NMAPTM (split across equal-hop minimum paths)
     for low-jitter traffic — packets taking paths of different lengths
-    arrive unevenly.  This measures exactly that: for each commodity, the
-    standard deviation of consecutive delivery-time gaps.
+    arrive unevenly.  A view of :func:`per_flow_stats`, which computes it.
     """
-    deliveries: dict[int, list[int]] = {}
-    for packet in packets:
-        if not packet.measured or packet.delivered_cycle is None:
-            continue
-        deliveries.setdefault(packet.commodity_index, []).append(
-            packet.delivered_cycle
-        )
-    jitter: dict[int, float] = {}
-    for index, times in deliveries.items():
-        times.sort()
-        gaps = [float(b - a) for a, b in zip(times, times[1:])]
-        jitter[index] = _std(gaps)
-    return jitter
+    return {index: flow.jitter for index, flow in per_flow_stats(packets).items()}
 
 
 def per_commodity_latency_std(packets: list[Packet]) -> dict[int, float]:
     """Latency standard deviation per commodity (path-length mixing shows
-    up here even when delivery gaps stay regular)."""
-    latencies: dict[int, list[float]] = {}
-    for packet in packets:
-        if not packet.measured:
-            continue
-        latencies.setdefault(packet.commodity_index, []).append(float(packet.latency))
-    return {index: _std(values) for index, values in latencies.items()}
+    up here even when delivery gaps stay regular).  A view of
+    :func:`per_flow_stats`."""
+    return {index: flow.std for index, flow in per_flow_stats(packets).items()}

@@ -25,8 +25,47 @@ from repro.simnoc.config import SimConfig
 from repro.simnoc.packet import Packet
 
 
+def draw_geometric_burst(rng: random.Random, mean_burst_packets: float) -> int:
+    """Geometric burst size with mean ``mean_burst_packets`` (>= 1).
+
+    Shared by every bursty arrival process (the trace-driven source and the
+    synthetic on-off injector) so the burst distribution stays comparable
+    knob-for-knob across traffic models.
+    """
+    if mean_burst_packets <= 1.0:
+        return 1
+    p = 1.0 / mean_burst_packets
+    size = 1
+    while rng.random() > p:
+        size += 1
+    return size
+
+
+def draw_burst_gap(
+    rng: random.Random,
+    burst_size: int,
+    mean_packet_interval: float,
+    flits_per_packet: int,
+) -> float:
+    """Exponential inter-burst gap that restores the mean packet rate.
+
+    A burst of ``B`` packets injects back to back for ``B * F`` cycles
+    (``F`` flits per packet); the average spacing budget for ``B`` packets
+    is ``B * interval``, so the gap's mean is the difference.  Shared for
+    the same reason as :func:`draw_geometric_burst`.
+    """
+    mean_gap = burst_size * (mean_packet_interval - flits_per_packet)
+    if mean_gap <= 0.0:
+        return 0.0
+    return rng.expovariate(1.0 / mean_gap)
+
+
 class BurstyTrafficSource:
     """Generates packets of one commodity at its configured mean rate.
+
+    This is the ``"trace"`` traffic pattern: rates and endpoints replay the
+    mapped core graph's bandwidths (see :mod:`repro.simnoc.synthetic` for
+    the application-independent patterns).
 
     Args:
         commodity_index: index of the commodity this source drives.
@@ -37,6 +76,8 @@ class BurstyTrafficSource:
         config: simulator configuration (packet size, burstiness).
         rng: dedicated random stream (deterministic per commodity).
     """
+
+    pattern = "trace"
 
     def __init__(
         self,
@@ -82,27 +123,12 @@ class BurstyTrafficSource:
 
     # ------------------------------------------------------------------
     def _draw_burst_size(self) -> int:
-        """Geometric burst size with mean ``mean_burst_packets`` (>= 1)."""
-        mean = self.config.mean_burst_packets
-        if mean <= 1.0:
-            return 1
-        p = 1.0 / mean
-        size = 1
-        while self.rng.random() > p:
-            size += 1
-        return size
+        return draw_geometric_burst(self.rng, self.config.mean_burst_packets)
 
     def _draw_gap(self, burst_size: int) -> float:
-        """Exponential inter-burst gap that restores the mean packet rate.
-
-        A burst of ``B`` packets injects back to back for ``B * F`` cycles
-        (``F`` flits per packet); the average spacing budget for ``B``
-        packets is ``B * interval``, so the gap's mean is the difference.
-        """
-        mean_gap = burst_size * (self._mean_packet_interval - self._flits_per_packet)
-        if mean_gap <= 0.0:
-            return 0.0
-        return self.rng.expovariate(1.0 / mean_gap)
+        return draw_burst_gap(
+            self.rng, burst_size, self._mean_packet_interval, self._flits_per_packet
+        )
 
     def _choose_path(self) -> list[int]:
         pick = self.rng.random()

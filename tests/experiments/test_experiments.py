@@ -101,7 +101,7 @@ class TestRunner:
     def test_known_names(self):
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "table1", "table2", "fig5c", "table3", "ilp-gap",
-            "topology",
+            "topology", "latency-sweep",
         }
 
     def test_unknown_rejected(self):

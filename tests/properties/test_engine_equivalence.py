@@ -1,0 +1,235 @@
+"""Event engine == cycle engine, for every scenario shape we ship.
+
+The contract (ARCHITECTURE.md): engines differ only in how simulated time
+advances — never in what happens.  For identical inputs, the event-driven
+engine must produce *identical* reports to the cycle-accurate reference:
+same delivered-flit counts, same per-flow latency statistics (down to the
+histogram), same link utilization, same packet totals.  Plain ``==`` on
+every field is the right assertion; any tolerance would hide a scheduling
+divergence.
+
+Scenarios cover the seed's workloads (VOPD mesh, DSP slow-link mesh, torus)
+plus everything this layer made pluggable: synthetic traffic patterns, the
+VC wormhole router, and both fast-path modes of the shared router step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.apps import vopd
+from repro.apps.dsp import dsp_filter, dsp_mesh
+from repro.graphs.commodities import build_commodities
+from repro.graphs.random_graphs import random_core_graph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.nmap import nmap_single_path
+from repro.routing.min_path import min_path_routing
+from repro.simnoc import SimConfig, Simulator, build_network, build_synthetic_network
+from repro.simnoc.trace import TraceRecorder
+
+
+def assert_reports_identical(fast, reference):
+    """Every statistic of the two reports must match exactly."""
+    assert fast.stats == reference.stats
+    assert fast.packets_created == reference.packets_created
+    assert fast.packets_delivered == reference.packets_delivered
+    assert fast.per_commodity_latency == reference.per_commodity_latency
+    assert fast.per_commodity_jitter == reference.per_commodity_jitter
+    assert fast.per_commodity_latency_std == reference.per_commodity_latency_std
+    assert fast.per_flow == reference.per_flow
+    assert fast.link_utilization == reference.link_utilization
+    assert fast.link_flits == reference.link_flits
+    assert fast.cycles == reference.cycles
+
+
+def _trace_setup(app, mesh, **config_kwargs):
+    mapping = nmap_single_path(app, mesh).mapping
+    commodities = build_commodities(app, mapping)
+    routing = min_path_routing(mesh, commodities)
+    config = SimConfig(**config_kwargs)
+    return mesh, commodities, routing, config
+
+
+class TestTraceTrafficEquivalence:
+    @pytest.mark.parametrize("bandwidth_scale,burst", [(0.05, 1.0), (0.5, 3.0)])
+    def test_vopd_mesh(self, bandwidth_scale, burst):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mesh, commodities, routing, config = _trace_setup(
+            app,
+            mesh,
+            warmup_cycles=500,
+            measure_cycles=4_000,
+            drain_cycles=500,
+            seed=13,
+            mean_burst_packets=burst,
+        )
+
+        def run(engine):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=bandwidth_scale
+            )
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+    @pytest.mark.parametrize("bandwidth_scale", [0.05, 0.3, 1.0])
+    def test_dsp_slow_links(self, bandwidth_scale):
+        """The paper's DSP fabric: 2x3 mesh, sub-flit/cycle links."""
+        mesh, commodities, routing, config = _trace_setup(
+            dsp_filter(),
+            dsp_mesh(link_bandwidth=500.0),
+            warmup_cycles=500,
+            measure_cycles=6_000,
+            drain_cycles=500,
+            seed=3,
+        )
+
+        def run(engine):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=bandwidth_scale
+            )
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+    def test_torus(self):
+        app = random_core_graph(12, seed=3)
+        mesh = NoCTopology.torus_grid(4, 4, link_bandwidth=app.total_bandwidth())
+        mesh, commodities, routing, config = _trace_setup(
+            app,
+            mesh,
+            warmup_cycles=500,
+            measure_cycles=4_000,
+            drain_cycles=500,
+            seed=5,
+            mean_burst_packets=2.0,
+        )
+
+        def run(engine):
+            network = build_network(mesh, commodities, routing, config)
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+    def test_event_engine_matches_seed_reference_loop(self):
+        """Cross-mode: event engine (fast) == full scan on the scalar step."""
+        app = dsp_filter()
+        mesh, commodities, routing, config = _trace_setup(
+            app,
+            dsp_mesh(link_bandwidth=500.0),
+            warmup_cycles=500,
+            measure_cycles=6_000,
+            drain_cycles=500,
+            seed=3,
+        )
+
+        def run(engine, mode_ctx, active_set=None):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=0.2
+            )
+            with mode_ctx():
+                return Simulator(network, active_set=active_set, engine=engine).run()
+
+        reference = run("cycle", fastpath.scalar_reference, active_set=False)
+        assert_reports_identical(run("event", fastpath.fast_paths), reference)
+        assert_reports_identical(run("event", fastpath.scalar_reference), reference)
+
+    def test_flit_traces_identical(self):
+        """Not just aggregates: the exact flit-movement sequence matches."""
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mesh, commodities, routing, config = _trace_setup(
+            app,
+            mesh,
+            warmup_cycles=200,
+            measure_cycles=2_000,
+            drain_cycles=300,
+            seed=7,
+            mean_burst_packets=2.0,
+        )
+
+        def run(engine):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=0.4
+            )
+            recorder = TraceRecorder(max_events=10**6)
+            Simulator(network, trace=recorder, engine=engine).run()
+            return recorder.events
+
+        assert run("event") == run("cycle")
+
+
+class TestSyntheticTrafficEquivalence:
+    @pytest.mark.parametrize("pattern", ["uniform", "transpose", "onoff"])
+    def test_patterns_on_mesh(self, pattern):
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=800.0)
+        config = SimConfig(
+            warmup_cycles=300, measure_cycles=3_000, drain_cycles=500, seed=11
+        )
+
+        def run(engine):
+            network = build_synthetic_network(mesh, config, pattern, 0.08)
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+    def test_uniform_near_saturation(self):
+        """High load exercises contention, backpressure and credit stalls."""
+        mesh = NoCTopology.mesh(3, 3, link_bandwidth=800.0)
+        config = SimConfig(
+            warmup_cycles=300, measure_cycles=3_000, drain_cycles=1_000, seed=2
+        )
+
+        def run(engine):
+            network = build_synthetic_network(mesh, config, "uniform", 0.3)
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+
+class TestVCRouterEquivalence:
+    @pytest.mark.parametrize("num_vcs", [2, 4])
+    def test_trace_traffic_with_vcs(self, num_vcs):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mapping = nmap_single_path(app, mesh).mapping
+        commodities = build_commodities(app, mapping)
+        routing = min_path_routing(mesh, commodities)
+        config = SimConfig(
+            warmup_cycles=300,
+            measure_cycles=3_000,
+            drain_cycles=500,
+            seed=13,
+            num_vcs=num_vcs,
+        )
+
+        def run(engine):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=0.5
+            )
+            return Simulator(network, engine=engine).run()
+
+        assert_reports_identical(run("event"), run("cycle"))
+
+    def test_vc_router_scalar_mode_matches(self):
+        """The VC router's fast-path step is bit-exact vs its full scan."""
+        mesh = NoCTopology.mesh(3, 3, link_bandwidth=600.0)
+        config = SimConfig(
+            warmup_cycles=300,
+            measure_cycles=3_000,
+            drain_cycles=500,
+            seed=4,
+            num_vcs=2,
+            vc_buffer_depth=4,
+        )
+
+        def run(mode_ctx):
+            network = build_synthetic_network(mesh, config, "uniform", 0.2)
+            with mode_ctx():
+                return Simulator(network, engine="cycle", active_set=False).run()
+
+        assert_reports_identical(
+            run(fastpath.fast_paths), run(fastpath.scalar_reference)
+        )

@@ -142,6 +142,48 @@ class TestSimulate:
         ) == 0
         assert "latency mean" in capsys.readouterr().out
 
+    def test_simulate_event_engine_matches_cycle(self, capsys):
+        assert main(["simulate", "--app", "dsp", "--cycles", "2000",
+                     "--engine", "cycle"]) == 0
+        cycle_out = capsys.readouterr().out
+        assert main(["simulate", "--app", "dsp", "--cycles", "2000",
+                     "--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        # Identical numbers, different engine banner.
+        assert cycle_out.splitlines()[1:] == event_out.splitlines()[1:]
+        assert "event / trace" in event_out
+
+    def test_simulate_synthetic_traffic_with_vcs(self, capsys):
+        assert main(
+            ["simulate", "--app", "vopd", "--cycles", "2000",
+             "--traffic", "uniform", "--injection-rate", "0.05",
+             "--engine", "event", "--vcs", "2", "--vc-depth", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "uniform @ 0.05" in out
+        assert "2 VCs" in out
+        assert "worst flow" in out
+
+    def test_simulate_synthetic_requires_rate(self, capsys):
+        assert main(
+            ["simulate", "--app", "dsp", "--cycles", "2000",
+             "--traffic", "uniform"]
+        ) == 2
+        assert "injection_rate" in capsys.readouterr().err
+
+    def test_simulate_out_json_round_trips(self, tmp_path):
+        out_path = tmp_path / "sim.json"
+        assert main(
+            ["simulate", "--app", "dsp", "--cycles", "2000",
+             "--engine", "event", "--out-json", str(out_path)]
+        ) == 0
+        from repro.api import SimResponse
+
+        payload = json.loads(out_path.read_text())
+        response = SimResponse.from_dict(payload)
+        assert response.per_flow
+        assert response.request.options.engine == "event"
+
 
 class TestDesign:
     def test_design_prints_netlist(self, capsys):
