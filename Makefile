@@ -4,12 +4,13 @@ export PYTHONPATH := src
 .PHONY: check test test-properties bench-smoke bench smoke
 
 # What CI runs on every push: the equivalence property suite first (its own
-# stage, so a cycle-vs-event or fastpath-vs-scalar divergence fails loudly
-# and early), then the tier-1 suite, a smoke-sized perf bench, and the
-# example/CLI smoke.  The speedup floor is deliberately far below the real
-# margins (3-20x; the smallest smoke kernel sits near 1.3x and jitters on
-# loaded runners) — it exists to catch order-of-magnitude regressions, not
-# to measure.
+# stage, so an engine or fastpath-vs-scalar divergence fails loudly and
+# early), then the tier-1 suite, a smoke-sized perf bench, and the
+# example/CLI smoke.  The global --min-speedup floor is deliberately far
+# below the real margins and skips documentation kernels (see UNGUARDED in
+# run_bench.py); --enforce-floors applies the per-kernel FLOORS on top —
+# together they catch order-of-magnitude regressions without flaking on
+# loaded runners.
 check: test-properties test bench-smoke smoke
 
 # tests/properties is excluded here only because `check` already ran it in
@@ -24,16 +25,19 @@ test-properties:
 	$(PYTHON) -m pytest -q tests/properties
 
 bench-smoke:
-	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_smoke.json --min-speedup 0.5
+	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_smoke.json --min-speedup 0.5 --enforce-floors
 
-# End-to-end smoke: the quickstart example plus one torus mapping and one
-# event-engine synthetic simulation through the CLI — proves the repro.api
-# facade, torus routing and the engine/traffic plumbing stay wired up.
+# End-to-end smoke: the quickstart example plus one torus mapping, one
+# event-engine synthetic simulation and one auto-resolved (vector) run at
+# high load through the CLI — proves the repro.api facade, torus routing
+# and the engine/traffic plumbing stay wired up.
 smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) -m repro.cli map --app vopd --topology torus:4x4
 	$(PYTHON) -m repro.cli simulate --app dsp --engine event --traffic uniform \
 		--injection-rate 0.05 --vcs 2 --cycles 2000
+	$(PYTHON) -m repro.cli simulate --app vopd --engine auto --traffic uniform \
+		--injection-rate 0.25 --cycles 2000
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

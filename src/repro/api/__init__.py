@@ -11,7 +11,7 @@ this package:
   .get_mapper` — the mapper registry algorithms join with one
   ``@register_mapper`` decorator.
 * :func:`~repro.api.engine.run` / :func:`~repro.api.engine.run_batch` —
-  the execution engine (thread-pool fan-out for batches).
+  the execution engine (thread- or process-pool fan-out for batches).
 
 Quick tour::
 
@@ -23,6 +23,8 @@ Quick tour::
 """
 
 from repro.api.engine import (
+    BATCH_EXECUTORS,
+    clear_request_caches,
     execute_map,
     rebuild_mapping,
     resolve_app,
@@ -59,6 +61,7 @@ from repro.api.specs import (
 )
 
 __all__ = [
+    "BATCH_EXECUTORS",
     "SCHEMA_VERSION",
     "AnnealingOptions",
     "GmapOptions",
@@ -74,6 +77,7 @@ __all__ = [
     "SimRequest",
     "SimResponse",
     "TopologySpec",
+    "clear_request_caches",
     "execute_map",
     "get_mapper",
     "list_mappers",

@@ -1,17 +1,30 @@
 """Request execution: the single front door every surface calls through.
 
 ``run()`` turns a typed request into a typed response; ``run_batch()`` fans
-a list of requests over a thread pool — the shape the experiment runner,
-the benchmark harness and the CLI ``compare`` subcommand all share instead
-of private loops.  Threads (not processes) because each job spends its time
-in numpy kernels and LP solves on its own private graph objects, and
-requests stay cheap to ship.
+a list of requests over a thread or process pool — the shape the experiment
+runner, the benchmark harness and the CLI ``compare`` subcommand all share
+instead of private loops.  The default ``executor="thread"`` fits jobs that
+spend their time in numpy kernels and LP solves; ``executor="process"``
+sidesteps the GIL for Python-bound jobs — saturation-load simulations above
+all — and is possible precisely because every request and response payload
+is a frozen, JSON-round-trippable (hence picklable) dataclass.
+
+Simulation requests also share a small process-local cache of mapping and
+routing results keyed by the serialized map request: the points of a
+``latency_sweep`` differ only in injection rate, so the mapper and the
+routing table are computed once per sweep instead of once per point.  The
+cache can never change a result — mappers and routers are deterministic
+functions of the request (the batch determinism contract) — it only skips
+recomputing one.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 
 from repro.api.registry import get_mapper
@@ -89,6 +102,59 @@ def run_map(request: MapRequest) -> MapResponse:
     return _build_map_response(request, topology, result, request.price_bandwidth)
 
 
+# ----------------------------------------------------------------------
+# per-process request caches (sweep reuse)
+# ----------------------------------------------------------------------
+#: Bound on each cache; a sweep touches one mapping, experiments a handful.
+_CACHE_LIMIT = 64
+_cache_lock = threading.Lock()
+_map_cache: "OrderedDict[str, tuple[NoCTopology, MappingResult]]" = OrderedDict()
+_routing_cache: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+
+
+def _map_cache_key(request: MapRequest) -> str:
+    """Canonical cache key: the request's own serialized payload."""
+    return json.dumps(request.to_dict(), sort_keys=True)
+
+
+def clear_request_caches() -> None:
+    """Drop the mapping/routing caches (tests, long-lived services)."""
+    with _cache_lock:
+        _map_cache.clear()
+        _routing_cache.clear()
+
+
+def _cache_get(cache: OrderedDict, key):
+    with _cache_lock:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+
+def _cache_put(cache: OrderedDict, key, value) -> None:
+    with _cache_lock:
+        cache[key] = value
+        while len(cache) > _CACHE_LIMIT:
+            cache.popitem(last=False)
+
+
+def _cached_execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult]:
+    """``execute_map`` with sweep reuse.
+
+    Safe to share across threads because every consumer treats the mapping
+    and topology as read-only (commodities and simulator fabrics are built
+    fresh per request), and safe to cache at all because mapping results
+    are deterministic functions of the request payload.
+    """
+    key = _map_cache_key(request)
+    value = _cache_get(_map_cache, key)
+    if value is None:
+        value = execute_map(request)
+        _cache_put(_map_cache, key, value)
+    return value
+
+
 def run_sim(request: SimRequest) -> SimResponse:
     """Execute one simulation request (map, route, simulate, summarize).
 
@@ -99,7 +165,7 @@ def run_sim(request: SimRequest) -> SimResponse:
     regardless of batch worker counts (see :func:`run_batch`).
     """
     options = request.options
-    topology, result = execute_map(request.map_request)
+    topology, result = _cached_execute_map(request.map_request)
     config = SimConfig(
         warmup_cycles=request.warmup_cycles,
         measure_cycles=request.measure_cycles,
@@ -112,18 +178,23 @@ def run_sim(request: SimRequest) -> SimResponse:
     if options.traffic == "trace":
         mapping = result.mapping
         commodities = build_commodities(mapping.core_graph, mapping)
-        if request.routing == "xy":
-            routing = xy_routing(topology, commodities)
-        elif request.routing == "min-path":
-            routing = min_path_routing(topology, commodities)
-        elif result.routing is not None and request.map_request.mapper.startswith(
-            "nmap-t"
+        if result.routing is not None and request.routing == "auto" and (
+            request.map_request.mapper.startswith("nmap-t")
         ):
             # The split variants' own fractional routing is the point of
             # those mappers; everything else is priced with minimum paths.
             routing = result.routing
         else:
-            routing = min_path_routing(topology, commodities)
+            # Derived routing tables are pure functions of (mapping,
+            # routing mode), so sweep points share one computation.
+            routing_key = (_map_cache_key(request.map_request), request.routing)
+            routing = _cache_get(_routing_cache, routing_key)
+            if routing is None:
+                if request.routing == "xy":
+                    routing = xy_routing(topology, commodities)
+                else:  # "min-path" or the "auto" default
+                    routing = min_path_routing(topology, commodities)
+                _cache_put(_routing_cache, routing_key, routing)
         report = simulate_mapping(
             topology, commodities, routing, config, engine=options.engine
         )
@@ -198,9 +269,14 @@ def run(request: MapRequest | SimRequest) -> MapResponse | SimResponse:
     raise ApiError(f"cannot run a {type(request).__name__}")
 
 
+#: Executors ``run_batch`` can fan out over.
+BATCH_EXECUTORS = ("thread", "process")
+
+
 def run_batch(
     requests: list[MapRequest | SimRequest],
     workers: int | None = None,
+    executor: str = "thread",
 ) -> list[MapResponse | SimResponse]:
     """Run many requests concurrently; responses keep request order.
 
@@ -210,14 +286,26 @@ def run_batch(
     indices — mapper seeds via their options, trace traffic via its
     per-commodity streams, synthetic injectors via
     :func:`repro.seeding.derive_seed` — and no job reads shared global RNG
-    state, so ``workers=1`` and ``workers=8`` produce byte-identical
-    response payloads, in the same order.
+    state, so ``workers=1`` and ``workers=8``, threads and processes, all
+    produce byte-identical response payloads, in the same order.
 
     Args:
         requests: any mix of map and sim requests.
-        workers: thread count; defaults to ``min(len(requests), cpu_count)``
+        workers: worker count; defaults to ``min(len(requests), cpu_count)``
             and degrades to serial execution for empty/singleton batches.
+        executor: ``"thread"`` (default; fine for numpy/LP-bound mapping
+            jobs) or ``"process"`` (true multi-core for Python-bound jobs —
+            high-load simulation sweeps above all; requests and responses
+            cross the process boundary as pickled frozen payloads).
+
+    Raises:
+        ApiError: for a non-positive worker count or unknown executor.
     """
+    if executor not in BATCH_EXECUTORS:
+        raise ApiError(
+            f"executor must be one of {', '.join(BATCH_EXECUTORS)}, "
+            f"got {executor!r}"
+        )
     if not requests:
         return []
     if workers is None:
@@ -226,7 +314,8 @@ def run_batch(
         raise ApiError(f"workers must be >= 1, got {workers}")
     if workers == 1 or len(requests) == 1:
         return [run(request) for request in requests]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    with pool_cls(max_workers=workers) as pool:
         return list(pool.map(run, requests))
 
 

@@ -381,8 +381,10 @@ class SimOptions:
 
     Attributes:
         engine: registered engine name — ``"cycle"`` (cycle-accurate
-            reference) or ``"event"`` (event-driven, skips dead time; bit
-            consistent with ``cycle``).
+            reference), ``"event"`` (event-driven, skips dead time),
+            ``"vector"`` (structure-of-arrays, fastest at high load) or
+            ``"auto"`` (picks event at low load, vector at high load).
+            All backends are bit-consistent with ``cycle``.
         traffic: ``"trace"`` replays the mapped core graph's bandwidths;
             ``"uniform"``, ``"transpose"`` and ``"onoff"`` are synthetic
             patterns driven per node (see :mod:`repro.simnoc.synthetic`).

@@ -27,6 +27,7 @@ from dataclasses import fields
 from pathlib import Path
 
 from repro.api import (
+    BATCH_EXECUTORS,
     MapRequest,
     SimOptions,
     SimRequest,
@@ -212,7 +213,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         _map_request(args, mapper=name, price_bandwidth=True, seed_only_if_seedable=True)
         for name in args.algorithms
     ]
-    responses = run_batch(requests, workers=args.workers)
+    responses = run_batch(requests, workers=args.workers, executor=args.executor)
     first = responses[0].topology
     print(
         f"{responses[0].app_name} on {first.describe()}, "
@@ -301,7 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="cycle",
         choices=list_engines(),
-        help="simulation backend: cycle-accurate reference or event-driven",
+        help=(
+            "simulation backend: cycle (bit-exact reference), event "
+            "(skips idle time), vector (structure-of-arrays, fastest at "
+            "high load) or auto (event at low load, vector at high load)"
+        ),
     )
     p_sim.add_argument(
         "--traffic",
@@ -360,7 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="thread count for the comparison batch",
+        help="worker count for the comparison batch",
+    )
+    p_cmp.add_argument(
+        "--executor",
+        default="thread",
+        choices=BATCH_EXECUTORS,
+        help="batch executor: thread (default) or process (true multi-core)",
     )
     p_cmp.add_argument(
         "--out-json",

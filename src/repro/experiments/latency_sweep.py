@@ -7,11 +7,15 @@ watch average and tail latency take off at the saturation knee.  Uniform
 random is the standard benchmark pattern; transpose stresses the diagonal
 under XY routing and saturates earlier on the same mesh.
 
-Runs on the event-driven engine (bit-consistent with the cycle engine —
-``tests/properties`` pins that — and much faster at the low-load end of the
-sweep, which is where most of the points sit).  Every point is a
-:class:`~repro.api.SimRequest` through ``run_batch``, like every other
-experiment.
+Runs on the ``auto`` engine by default: the per-point policy picks the
+event-driven engine for the low-load points (idle-skipping dominates there)
+and the structure-of-arrays vector engine at and above the knee, where
+every cycle is busy.  All three backends are bit-consistent — the
+equivalence suite under ``tests/properties`` pins that — so the choice
+affects wall-clock only.  Every point is a :class:`~repro.api.SimRequest`
+through ``run_batch``, like every other experiment; the mapper run behind
+the points is computed once and shared via the request cache, and
+``executor="process"`` scales a sweep across cores.
 """
 
 from __future__ import annotations
@@ -28,9 +32,10 @@ def run_latency_sweep(
     patterns: tuple[str, ...] = ("uniform", "transpose"),
     mesh: str = "mesh:4x4",
     measure_cycles: int = 4_000,
-    engine: str = "event",
+    engine: str = "auto",
     num_vcs: int = 1,
     workers: int | None = None,
+    executor: str = "thread",
 ) -> ExperimentTable:
     """Latency-vs-injection-rate curves for synthetic patterns.
 
@@ -39,9 +44,11 @@ def run_latency_sweep(
         patterns: registered synthetic traffic patterns to compare.
         mesh: topology spec string for the fabric under test.
         measure_cycles: measurement window per point.
-        engine: simulation backend for every point.
+        engine: simulation backend for every point (``"auto"`` picks
+            event at low load, vector at high load, per point).
         num_vcs: virtual channels per link (1 = the paper's router).
-        workers: thread count for the request batch.
+        workers: worker count for the request batch.
+        executor: ``"thread"`` or ``"process"`` (multi-core sweeps).
     """
     # VOPD's 16 cores pin the 4x4 fabric; link bandwidth well above the
     # sweep's saturation point so the network, not the spec, is the limit.
@@ -68,7 +75,7 @@ def run_latency_sweep(
         for pattern in patterns
         for rate in rates
     ]
-    responses = run_batch(requests, workers=workers)
+    responses = run_batch(requests, workers=workers, executor=executor)
 
     table = ExperimentTable(
         title="Latency vs injection rate - synthetic traffic saturation sweep",

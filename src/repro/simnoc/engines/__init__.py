@@ -8,21 +8,32 @@ component to touch when:
   PR-1 active-set variant that skips idle components bit-exactly);
 * ``"event"`` — heap-scheduled event-driven time: components are stepped
   only at cycles where they can act, and all dead time in between is
-  skipped outright.
+  skipped outright;
+* ``"vector"`` — structure-of-arrays time: the network is flattened into
+  preallocated flat/numpy arrays and advanced with no per-object dispatch,
+  the fastest backend at and above saturation;
+* ``"auto"`` — a policy, not a backend: resolves to ``"event"`` or
+  ``"vector"`` from the built network's offered load.
 
 Every engine produces identical simulation results on identical inputs —
 the property suite pins the equivalence; the benches measure the gap.
 """
 
+from repro.simnoc.engines.auto import AUTO_LOAD_THRESHOLD, AutoEngine, resolve_auto_engine
 from repro.simnoc.engines.base import Engine, get_engine, list_engines
 from repro.simnoc.engines.cycle import DEADLOCK_WINDOW, CycleEngine
 from repro.simnoc.engines.event import EventEngine
+from repro.simnoc.engines.vector import VectorEngine
 
 __all__ = [
+    "AUTO_LOAD_THRESHOLD",
+    "AutoEngine",
     "CycleEngine",
     "DEADLOCK_WINDOW",
     "Engine",
     "EventEngine",
+    "VectorEngine",
     "get_engine",
     "list_engines",
+    "resolve_auto_engine",
 ]

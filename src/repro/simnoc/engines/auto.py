@@ -1,0 +1,68 @@
+"""The ``auto`` engine: pick event-driven or vector time by offered load.
+
+The two fast backends win in opposite regimes.  The event engine skips
+cycles in which nothing can happen — enormous at low load, worthless near
+saturation where every cycle has work (and the heap becomes pure overhead).
+The vector engine attacks the per-cycle constant factor instead — a big win
+exactly when most cycles are busy, but it still touches every busy cycle,
+so at very low load the event engine's time-skipping dominates.
+
+``auto`` applies the obvious policy at ``run`` time, when the built network
+is in hand: sum the sources' configured offered load, normalize per node,
+and pick the vector engine once the network is expected to be busy most
+cycles.  The threshold is a wall-clock heuristic only — both candidate
+engines are bit-identical to the cycle reference (property-tested), so the
+choice can never change a single statistic, only how fast it arrives.
+The vector engine flattens just the built-in router models; for custom
+registered models ``auto`` always falls back to the event engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simnoc.engines.base import get_engine, register_engine
+from repro.simnoc.engines.vector import SUPPORTED_ROUTER_MODELS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnoc.network import Network
+    from repro.simnoc.simulator import Simulator
+
+#: Mean offered load (flits/cycle per node) at or above which the network
+#: is expected to be busy most cycles, making the vector engine the faster
+#: backend.  Below it, idle-cycle skipping wins.  Calibrated against
+#: ``benchmarks/run_bench.py`` (event ~8x at 5% load, vector >=3x at 30%);
+#: the crossover sits near one flit in flight per node every ~15 cycles.
+AUTO_LOAD_THRESHOLD = 0.06
+
+
+def offered_load_per_node(network: "Network") -> float:
+    """Mean configured offered load across the network, flits/cycle/node.
+
+    Sums each source's long-run ``offered_flits_per_cycle`` (every shipped
+    source exposes it; unknown custom sources count as zero rather than
+    guessing) and divides by the node count.
+    """
+    total = 0.0
+    for source in network.sources:
+        total += getattr(source, "offered_flits_per_cycle", 0.0)
+    return total / max(1, len(network.routers))
+
+
+def resolve_auto_engine(network: "Network") -> str:
+    """The engine name ``auto`` delegates to for this built network."""
+    if network.config.effective_router_model not in SUPPORTED_ROUTER_MODELS:
+        return "event"
+    if offered_load_per_node(network) >= AUTO_LOAD_THRESHOLD:
+        return "vector"
+    return "event"
+
+
+@register_engine("auto")
+class AutoEngine:
+    """Load-adaptive dispatcher over the event and vector engines."""
+
+    name = "auto"
+
+    def run(self, sim: "Simulator") -> None:
+        get_engine(resolve_auto_engine(sim.network)).run(sim)

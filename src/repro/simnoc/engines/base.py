@@ -75,5 +75,7 @@ def list_engines() -> tuple[str, ...]:
 
 def _ensure_engines_loaded() -> None:
     """Import the engine modules so their decorators have run."""
+    import repro.simnoc.engines.auto  # noqa: F401
     import repro.simnoc.engines.cycle  # noqa: F401
     import repro.simnoc.engines.event  # noqa: F401
+    import repro.simnoc.engines.vector  # noqa: F401

@@ -24,6 +24,16 @@ from repro.simnoc.packet import Flit, Packet, is_last_flit, make_flits
 class NetworkInterface:
     """Injection/ejection endpoint attached to one router's local port."""
 
+    __slots__ = (
+        "node",
+        "router",
+        "num_vcs",
+        "injection_queue",
+        "delivered_packets",
+        "flits_injected",
+        "flits_ejected",
+    )
+
     def __init__(self, node: int, router, num_vcs: int = 1) -> None:
         self.node = node
         self.router = router

@@ -14,7 +14,7 @@ class FlitKind(enum.Enum):
     TAIL = "tail"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet, created by a traffic source at a network interface.
 
@@ -61,7 +61,7 @@ class Packet:
         return self.delivered_cycle - self.injected_cycle
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flit:
     """One flit of a packet.  ``hop`` indexes the packet's source route."""
 

@@ -107,7 +107,7 @@ def resolve_next_hop(node: int, outputs: dict, flit: Flit) -> int:
     return nxt
 
 
-@dataclass
+@dataclass(slots=True)
 class InputPort:
     """One input FIFO of a router; ``feeder`` is the upstream output port."""
 
@@ -152,7 +152,7 @@ class InputPort:
         return flit
 
 
-@dataclass
+@dataclass(slots=True)
 class OutputPort:
     """One output of a router, driving a link (or the ejection port).
 
@@ -193,6 +193,16 @@ class OutputPort:
 
 class Router:
     """One mesh cross-point: input buffers, output ports, wormhole logic."""
+
+    __slots__ = (
+        "node",
+        "router_delay",
+        "inputs",
+        "input_order",
+        "outputs",
+        "output_order",
+        "last_step_released",
+    )
 
     def __init__(
         self,

@@ -73,8 +73,10 @@ class Simulator:
             forces the active-set or full-scan variant of the cycle engine
             (the latter is the reference oracle the equivalence tests
             compare against).  Ignored by the event engine.
-        engine: registered engine name — ``"cycle"`` (bit-exact reference)
-            or ``"event"`` (heap-scheduled, skips dead time).
+        engine: registered engine name — ``"cycle"`` (bit-exact
+            reference), ``"event"`` (heap-scheduled, skips dead time),
+            ``"vector"`` (structure-of-arrays, fastest at high load) or
+            ``"auto"`` (load-adaptive choice between the last two).
     """
 
     def __init__(

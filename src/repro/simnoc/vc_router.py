@@ -42,7 +42,7 @@ from repro.simnoc.router import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class VCInputPort:
     """One input of a VC router: ``num_vcs`` FIFOs sharing the physical link."""
 
@@ -91,7 +91,7 @@ class VCInputPort:
         return flit
 
 
-@dataclass
+@dataclass(slots=True)
 class VCOutputPort:
     """One output of a VC router: shared token bucket, per-VC allocation state."""
 
@@ -125,6 +125,17 @@ class VCOutputPort:
 
 class VCRouter:
     """Input-buffered wormhole router with ``num_vcs`` virtual channels."""
+
+    __slots__ = (
+        "node",
+        "num_vcs",
+        "router_delay",
+        "inputs",
+        "input_order",
+        "outputs",
+        "output_order",
+        "last_step_released",
+    )
 
     def __init__(
         self,

@@ -9,9 +9,11 @@ import pytest
 from repro.api import (
     MapRequest,
     MapResponse,
+    SimOptions,
     SimRequest,
     SimResponse,
     TopologySpec,
+    clear_request_caches,
     list_mappers,
     rebuild_mapping,
     run,
@@ -109,6 +111,96 @@ class TestRunBatch:
         responses = run_batch([map_request, sim_request], workers=2)
         assert isinstance(responses[0], MapResponse)
         assert isinstance(responses[1], SimResponse)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ApiError, match="executor"):
+            run_batch([MapRequest(app="pip")], executor="fiber")
+
+
+class TestProcessExecutor:
+    """``executor="process"`` must be a pure transport change: byte-identical
+    responses to serial thread execution, in the same order."""
+
+    def _requests(self):
+        return [
+            SimRequest(
+                map_request=MapRequest(app="dsp", price_bandwidth=False),
+                measure_cycles=1_000,
+                warmup_cycles=300,
+                drain_cycles=400,
+                sim_seed=seed,
+            )
+            for seed in (1, 2)
+        ] + [
+            SimRequest(
+                map_request=MapRequest(app="vopd", price_bandwidth=False),
+                measure_cycles=800,
+                warmup_cycles=200,
+                drain_cycles=300,
+                options=SimOptions(
+                    engine="vector", traffic="uniform", injection_rate=0.15
+                ),
+            ),
+            MapRequest(app="pip", mapper="annealing", seed=5, price_bandwidth=False),
+        ]
+
+    def test_process_pool_matches_serial_byte_for_byte(self):
+        serial = [r.to_dict() for r in run_batch(self._requests(), workers=1)]
+        forked = [
+            r.to_dict()
+            for r in run_batch(self._requests(), workers=2, executor="process")
+        ]
+        assert forked == serial
+
+    def test_process_pool_preserves_order_and_types(self):
+        responses = run_batch(self._requests(), workers=2, executor="process")
+        assert [type(r).__name__ for r in responses] == [
+            "SimResponse", "SimResponse", "SimResponse", "MapResponse",
+        ]
+
+
+class TestRequestCaches:
+    """The sweep cache must be invisible in results — only in wall clock."""
+
+    def test_cached_sweep_matches_cold_runs(self):
+        """One batch reusing the cached mapping == every point run cold."""
+        def sweep_requests():
+            return [
+                SimRequest(
+                    map_request=MapRequest(app="vopd", price_bandwidth=False),
+                    measure_cycles=600,
+                    warmup_cycles=200,
+                    drain_cycles=300,
+                    options=SimOptions(
+                        engine="auto", traffic="uniform", injection_rate=rate
+                    ),
+                )
+                for rate in (0.02, 0.10, 0.25)
+            ]
+
+        clear_request_caches()
+        warm = [r.to_dict() for r in run_batch(sweep_requests(), workers=1)]
+        cold = []
+        for request in sweep_requests():
+            clear_request_caches()
+            cold.append(run(request).to_dict())
+        assert warm == cold
+
+    def test_trace_routing_cache_matches_cold(self):
+        def request(routing):
+            return SimRequest(
+                map_request=MapRequest(app="dsp", price_bandwidth=False),
+                measure_cycles=800,
+                warmup_cycles=200,
+                drain_cycles=300,
+                routing=routing,
+            )
+
+        for routing in ("auto", "xy", "min-path"):
+            clear_request_caches()
+            cold = run(request(routing)).to_dict()
+            warm = run(request(routing)).to_dict()  # second hit is cached
+            assert warm == cold
 
 
 class TestRunSim:

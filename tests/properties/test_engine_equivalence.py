@@ -1,16 +1,18 @@
-"""Event engine == cycle engine, for every scenario shape we ship.
+"""Event and vector engines == cycle engine, for every scenario we ship.
 
 The contract (ARCHITECTURE.md): engines differ only in how simulated time
 advances — never in what happens.  For identical inputs, the event-driven
-engine must produce *identical* reports to the cycle-accurate reference:
-same delivered-flit counts, same per-flow latency statistics (down to the
-histogram), same link utilization, same packet totals.  Plain ``==`` on
-every field is the right assertion; any tolerance would hide a scheduling
-divergence.
+and structure-of-arrays vector engines must produce *identical* reports to
+the cycle-accurate reference: same delivered-flit counts, same per-flow
+latency statistics (down to the histogram), same link utilization, same
+packet totals.  Plain ``==`` on every field is the right assertion; any
+tolerance would hide a scheduling divergence.
 
 Scenarios cover the seed's workloads (VOPD mesh, DSP slow-link mesh, torus)
-plus everything this layer made pluggable: synthetic traffic patterns, the
-VC wormhole router, and both fast-path modes of the shared router step.
+plus everything the model/engine split made pluggable: synthetic traffic
+patterns, the VC wormhole router, both fast-path modes of the shared router
+step — and, because the vector engine exists precisely for saturation, a
+dedicated injection-rate matrix below, at and above the saturation knee.
 """
 
 from __future__ import annotations
@@ -27,6 +29,9 @@ from repro.mapping.nmap import nmap_single_path
 from repro.routing.min_path import min_path_routing
 from repro.simnoc import SimConfig, Simulator, build_network, build_synthetic_network
 from repro.simnoc.trace import TraceRecorder
+
+#: The fast backends, each pinned against the cycle reference.
+FAST_ENGINES = ("event", "vector")
 
 
 def assert_reports_identical(fast, reference):
@@ -52,8 +57,9 @@ def _trace_setup(app, mesh, **config_kwargs):
 
 
 class TestTraceTrafficEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("bandwidth_scale,burst", [(0.05, 1.0), (0.5, 3.0)])
-    def test_vopd_mesh(self, bandwidth_scale, burst):
+    def test_vopd_mesh(self, engine, bandwidth_scale, burst):
         app = vopd()
         mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
         mesh, commodities, routing, config = _trace_setup(
@@ -66,16 +72,17 @@ class TestTraceTrafficEquivalence:
             mean_burst_packets=burst,
         )
 
-        def run(engine):
+        def run(name):
             network = build_network(
                 mesh, commodities, routing, config, bandwidth_scale=bandwidth_scale
             )
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("bandwidth_scale", [0.05, 0.3, 1.0])
-    def test_dsp_slow_links(self, bandwidth_scale):
+    def test_dsp_slow_links(self, engine, bandwidth_scale):
         """The paper's DSP fabric: 2x3 mesh, sub-flit/cycle links."""
         mesh, commodities, routing, config = _trace_setup(
             dsp_filter(),
@@ -86,15 +93,16 @@ class TestTraceTrafficEquivalence:
             seed=3,
         )
 
-        def run(engine):
+        def run(name):
             network = build_network(
                 mesh, commodities, routing, config, bandwidth_scale=bandwidth_scale
             )
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
 
-    def test_torus(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_torus(self, engine):
         app = random_core_graph(12, seed=3)
         mesh = NoCTopology.torus_grid(4, 4, link_bandwidth=app.total_bandwidth())
         mesh, commodities, routing, config = _trace_setup(
@@ -107,14 +115,16 @@ class TestTraceTrafficEquivalence:
             mean_burst_packets=2.0,
         )
 
-        def run(engine):
+        def run(name):
             network = build_network(mesh, commodities, routing, config)
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
 
-    def test_event_engine_matches_seed_reference_loop(self):
-        """Cross-mode: event engine (fast) == full scan on the scalar step."""
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_fast_engines_match_seed_reference_loop(self, engine):
+        """Cross-mode: fast engine (fast paths on) == full scan on the
+        scalar step — and the event engine also in scalar mode."""
         app = dsp_filter()
         mesh, commodities, routing, config = _trace_setup(
             app,
@@ -125,18 +135,20 @@ class TestTraceTrafficEquivalence:
             seed=3,
         )
 
-        def run(engine, mode_ctx, active_set=None):
+        def run(name, mode_ctx, active_set=None):
             network = build_network(
                 mesh, commodities, routing, config, bandwidth_scale=0.2
             )
             with mode_ctx():
-                return Simulator(network, active_set=active_set, engine=engine).run()
+                return Simulator(network, active_set=active_set, engine=name).run()
 
         reference = run("cycle", fastpath.scalar_reference, active_set=False)
-        assert_reports_identical(run("event", fastpath.fast_paths), reference)
-        assert_reports_identical(run("event", fastpath.scalar_reference), reference)
+        assert_reports_identical(run(engine, fastpath.fast_paths), reference)
+        if engine == "event":
+            assert_reports_identical(run(engine, fastpath.scalar_reference), reference)
 
-    def test_flit_traces_identical(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_flit_traces_identical(self, engine):
         """Not just aggregates: the exact flit-movement sequence matches."""
         app = vopd()
         mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
@@ -150,48 +162,129 @@ class TestTraceTrafficEquivalence:
             mean_burst_packets=2.0,
         )
 
-        def run(engine):
+        def run(name):
             network = build_network(
                 mesh, commodities, routing, config, bandwidth_scale=0.4
             )
             recorder = TraceRecorder(max_events=10**6)
-            Simulator(network, trace=recorder, engine=engine).run()
+            Simulator(network, trace=recorder, engine=name).run()
             return recorder.events
 
-        assert run("event") == run("cycle")
+        assert run(engine) == run("cycle")
 
 
 class TestSyntheticTrafficEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("pattern", ["uniform", "transpose", "onoff"])
-    def test_patterns_on_mesh(self, pattern):
+    def test_patterns_on_mesh(self, engine, pattern):
         mesh = NoCTopology.mesh(4, 4, link_bandwidth=800.0)
         config = SimConfig(
             warmup_cycles=300, measure_cycles=3_000, drain_cycles=500, seed=11
         )
 
-        def run(engine):
+        def run(name):
             network = build_synthetic_network(mesh, config, pattern, 0.08)
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
 
-    def test_uniform_near_saturation(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_uniform_near_saturation(self, engine):
         """High load exercises contention, backpressure and credit stalls."""
         mesh = NoCTopology.mesh(3, 3, link_bandwidth=800.0)
         config = SimConfig(
             warmup_cycles=300, measure_cycles=3_000, drain_cycles=1_000, seed=2
         )
 
-        def run(engine):
+        def run(name):
             network = build_synthetic_network(mesh, config, "uniform", 0.3)
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
+
+
+class TestSaturationMatrix:
+    """Below / at / above the knee — the vector engine's home regime.
+
+    On the 4x4 mesh with 1 flit/cycle links and uniform traffic, the
+    latency knee sits near 0.2 flits/cycle/node; 0.05 is comfortably
+    below, 0.22 rides the knee, and 0.40 oversubscribes the fabric so NI
+    backlogs grow for the whole run (the hardest bookkeeping case: every
+    component busy every cycle).
+    """
+
+    RATES = (0.05, 0.22, 0.40)
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("rate", RATES)
+    def test_uniform_rate_matrix(self, engine, rate):
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=300, measure_cycles=2_500, drain_cycles=600, seed=5
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "uniform", rate)
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run(engine), run("cycle"))
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("rate", (0.05, 0.30))
+    def test_transpose_saturates_the_diagonal(self, engine, rate):
+        """Transpose under XY concentrates the diagonal: 0.30 is far past
+        its knee, with worms blocked on credits for most of the run."""
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=300, measure_cycles=2_500, drain_cycles=600, seed=9
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "transpose", rate)
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run(engine), run("cycle"))
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("rate", (0.05, 0.35))
+    def test_vc_router_rate_matrix(self, engine, rate):
+        """The same sweep on the VC router (per-lane credits and buffers)."""
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=300,
+            measure_cycles=2_000,
+            drain_cycles=600,
+            seed=4,
+            num_vcs=2,
+            vc_buffer_depth=4,
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "uniform", rate)
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run(engine), run("cycle"))
+
+    def test_vector_trace_identical_at_saturation(self):
+        """Flit-for-flit identity in the regime the engine was built for."""
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=200, measure_cycles=1_500, drain_cycles=400, seed=3
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "uniform", 0.30)
+            recorder = TraceRecorder(max_events=10**6)
+            Simulator(network, trace=recorder, engine=name).run()
+            return recorder.events
+
+        assert run("vector") == run("cycle")
 
 
 class TestVCRouterEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("num_vcs", [2, 4])
-    def test_trace_traffic_with_vcs(self, num_vcs):
+    def test_trace_traffic_with_vcs(self, engine, num_vcs):
         app = vopd()
         mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
         mapping = nmap_single_path(app, mesh).mapping
@@ -205,13 +298,39 @@ class TestVCRouterEquivalence:
             num_vcs=num_vcs,
         )
 
-        def run(engine):
+        def run(name):
             network = build_network(
                 mesh, commodities, routing, config, bandwidth_scale=0.5
             )
-            return Simulator(network, engine=engine).run()
+            return Simulator(network, engine=name).run()
 
-        assert_reports_identical(run("event"), run("cycle"))
+        assert_reports_identical(run(engine), run("cycle"))
+
+    @pytest.mark.parametrize("num_vcs", [2, 4])
+    def test_vc_flit_traces_identical(self, num_vcs):
+        """The vector engine's VC loop, pinned flit for flit."""
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(16, link_bandwidth=app.total_bandwidth())
+        mapping = nmap_single_path(app, mesh).mapping
+        commodities = build_commodities(app, mapping)
+        routing = min_path_routing(mesh, commodities)
+        config = SimConfig(
+            warmup_cycles=300,
+            measure_cycles=2_000,
+            drain_cycles=500,
+            seed=13,
+            num_vcs=num_vcs,
+        )
+
+        def run(name):
+            network = build_network(
+                mesh, commodities, routing, config, bandwidth_scale=0.5
+            )
+            recorder = TraceRecorder(max_events=10**6)
+            Simulator(network, trace=recorder, engine=name).run()
+            return recorder.events
+
+        assert run("vector") == run("cycle")
 
     def test_vc_router_scalar_mode_matches(self):
         """The VC router's fast-path step is bit-exact vs its full scan."""
@@ -233,3 +352,20 @@ class TestVCRouterEquivalence:
         assert_reports_identical(
             run(fastpath.fast_paths), run(fastpath.scalar_reference)
         )
+
+
+class TestAutoEngineEquivalence:
+    """``auto`` only ever delegates to bit-identical backends."""
+
+    @pytest.mark.parametrize("rate", (0.02, 0.30))
+    def test_auto_matches_cycle_at_both_ends(self, rate):
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=300, measure_cycles=2_000, drain_cycles=500, seed=6
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "uniform", rate)
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run("auto"), run("cycle"))

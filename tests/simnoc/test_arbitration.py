@@ -1,4 +1,4 @@
-"""Router arbitration edge cases, parametrized over both engines.
+"""Router arbitration edge cases, parametrized over every engine.
 
 These pin the microarchitectural behaviors that aggregate statistics can
 mask: output-port contention resolution, full-buffer backpressure (credit
@@ -15,7 +15,7 @@ from repro.graphs.topology import NoCTopology
 from repro.routing.min_path import min_path_routing
 from repro.simnoc import SimConfig, Simulator, build_network
 
-ENGINES = ("cycle", "event")
+ENGINES = ("cycle", "event", "vector")
 
 
 def _commodity(index, src, dst, value):

@@ -142,16 +142,32 @@ class TestSimulate:
         ) == 0
         assert "latency mean" in capsys.readouterr().out
 
-    def test_simulate_event_engine_matches_cycle(self, capsys):
+    @pytest.mark.parametrize("engine", ["event", "vector", "auto"])
+    def test_simulate_fast_engines_match_cycle(self, engine, capsys):
         assert main(["simulate", "--app", "dsp", "--cycles", "2000",
                      "--engine", "cycle"]) == 0
         cycle_out = capsys.readouterr().out
         assert main(["simulate", "--app", "dsp", "--cycles", "2000",
-                     "--engine", "event"]) == 0
-        event_out = capsys.readouterr().out
+                     "--engine", engine]) == 0
+        fast_out = capsys.readouterr().out
         # Identical numbers, different engine banner.
-        assert cycle_out.splitlines()[1:] == event_out.splitlines()[1:]
-        assert "event / trace" in event_out
+        assert cycle_out.splitlines()[1:] == fast_out.splitlines()[1:]
+        assert f"{engine} / trace" in fast_out
+
+    def test_simulate_vector_engine_at_high_load(self, capsys):
+        assert main(
+            ["simulate", "--app", "vopd", "--cycles", "2000",
+             "--traffic", "uniform", "--injection-rate", "0.25",
+             "--engine", "vector"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vector / uniform @ 0.25" in out
+        assert "worst flow" in out
+
+    def test_simulate_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--app", "dsp", "--engine", "warp"])
+        assert "--engine" in capsys.readouterr().err
 
     def test_simulate_synthetic_traffic_with_vcs(self, capsys):
         assert main(
@@ -231,6 +247,20 @@ class TestCompare:
         ) == 0
         out = capsys.readouterr().out
         assert "pmap" in out and "annealing" in out
+
+    def test_compare_process_executor_matches_threads(self, capsys):
+        args = ["compare", "--app", "pip", "--algorithms", "gmap", "nmap",
+                "--workers", "2"]
+        assert main(args + ["--executor", "thread"]) == 0
+        thread_out = capsys.readouterr().out
+        assert main(args + ["--executor", "process"]) == 0
+        process_out = capsys.readouterr().out
+        assert process_out == thread_out
+
+    def test_compare_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--app", "pip", "--executor", "fiber"])
+        assert "--executor" in capsys.readouterr().err
 
 
 class TestExperiment:
