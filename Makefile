@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-properties bench-smoke bench smoke
+.PHONY: check test test-properties bench-smoke bench smoke fault-smoke
 
 # What CI runs on every push: the equivalence property suite first (its own
 # stage, so an engine or fastpath-vs-scalar divergence fails loudly and
@@ -11,7 +11,7 @@ export PYTHONPATH := src
 # run_bench.py); --enforce-floors applies the per-kernel FLOORS on top —
 # together they catch order-of-magnitude regressions without flaking on
 # loaded runners.
-check: test-properties test bench-smoke smoke
+check: test-properties test bench-smoke smoke fault-smoke
 
 # tests/properties is excluded here only because `check` already ran it in
 # its own stage; run `pytest -x -q` bare for the complete tier-1 sweep.
@@ -38,6 +38,18 @@ smoke:
 		--injection-rate 0.05 --vcs 2 --cycles 2000
 	$(PYTHON) -m repro.cli simulate --app vopd --engine auto --traffic uniform \
 		--injection-rate 0.25 --cycles 2000
+
+# Fault-injection smoke: map and simulate through injected faults on a mesh
+# and a torus (failed router, failed link, degraded link), then the
+# crash-injected batch demo — a process worker dies mid-batch and every
+# other slot still completes (examples/fault_tolerance.py asserts it).
+fault-smoke:
+	$(PYTHON) -m repro.cli map --app vopd --topology mesh:5x4 --fail-router 5
+	$(PYTHON) -m repro.cli simulate --app pip --fail-link 3-4 --cycles 2000
+	$(PYTHON) -m repro.cli map --app pip --topology torus:3x3 --fail-router 5
+	$(PYTHON) -m repro.cli simulate --app vopd --topology torus:4x4 \
+		--fail-link 5-6 --degrade-link 9-10:0.5 --cycles 2000
+	$(PYTHON) examples/fault_tolerance.py
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

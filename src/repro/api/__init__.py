@@ -52,6 +52,7 @@ from repro.api.registry import (
 )
 from repro.api.specs import (
     SCHEMA_VERSION,
+    ErrorResponse,
     MapRequest,
     MapResponse,
     SimOptions,
@@ -59,11 +60,14 @@ from repro.api.specs import (
     SimResponse,
     TopologySpec,
 )
+from repro.faults.spec import FaultSpec
 
 __all__ = [
     "BATCH_EXECUTORS",
     "SCHEMA_VERSION",
     "AnnealingOptions",
+    "ErrorResponse",
+    "FaultSpec",
     "GmapOptions",
     "MapperEntry",
     "MapperOptions",

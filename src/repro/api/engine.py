@@ -23,19 +23,27 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from pathlib import Path
 
 from repro.api.registry import get_mapper
 from repro.api.specs import (
+    ErrorResponse,
     MapRequest,
     MapResponse,
     SimRequest,
     SimResponse,
 )
 from repro.apps import get_app
-from repro.errors import ApiError
+from repro.errors import ApiError, FaultError, RoutingError
+from repro.faults.reroute import fault_reroute
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.io import core_graph_from_dict, load_core_graph
@@ -63,9 +71,25 @@ def execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult]:
     This is the core :func:`run_map` wraps; callers that need the live
     :class:`~repro.mapping.base.Mapping`/routing objects (the ``design``
     and ``simulate`` surfaces, custom experiments) use it directly.
+
+    When the request carries a fault scenario, the returned topology is the
+    degraded view the mapper actually placed onto (failed routers excluded,
+    surviving-hop distances); routing failures on the degraded fabric are
+    re-raised as :class:`~repro.errors.FaultError` so callers can tell a
+    fault-impossible scenario from a mapper bug.
     """
     app = resolve_app(request.app)
     topology = request.topology.build(app)
+    if request.faults is not None and not request.faults.is_empty:
+        topology = request.faults.apply(topology)
+        entry = get_mapper(request.mapper)
+        try:
+            result = entry.run(app, topology, request.resolved_options())
+        except RoutingError as exc:
+            raise FaultError(
+                f"mapping on the fault-degraded fabric failed: {exc}"
+            ) from exc
+        return topology, result
     entry = get_mapper(request.mapper)
     result = entry.run(app, topology, request.resolved_options())
     return topology, result
@@ -166,6 +190,17 @@ def run_sim(request: SimRequest) -> SimResponse:
     """
     options = request.options
     topology, result = _cached_execute_map(request.map_request)
+    sim_faults = request.faults
+    sim_topology = topology
+    if sim_faults is not None and not sim_faults.is_empty:
+        # Sim-time faults hit a fabric the mapper never saw: the placement
+        # is kept, the topology view degrades further, and traffic must be
+        # rerouted (and deadlock-re-checked) around the failures.
+        sim_topology = sim_faults.apply(topology)
+    map_faults = request.map_request.faults
+    faults_active = sim_topology is not topology or (
+        map_faults is not None and not map_faults.is_empty
+    )
     config = SimConfig(
         warmup_cycles=request.warmup_cycles,
         measure_cycles=request.measure_cycles,
@@ -178,7 +213,24 @@ def run_sim(request: SimRequest) -> SimResponse:
     if options.traffic == "trace":
         mapping = result.mapping
         commodities = build_commodities(mapping.core_graph, mapping)
-        if result.routing is not None and request.routing == "auto" and (
+        if faults_active:
+            # Any active fault (map-time or sim-time) routes through the
+            # fault-aware path: surviving minimal paths with the mandatory
+            # deadlock-freedom re-check.  FaultError propagates when the
+            # scenario disconnects a commodity or reroutes into a cycle.
+            routing_key = (
+                _map_cache_key(request.map_request),
+                request.routing,
+                json.dumps(
+                    None if sim_faults is None else sim_faults.to_dict(),
+                    sort_keys=True,
+                ),
+            )
+            routing = _cache_get(_routing_cache, routing_key)
+            if routing is None:
+                routing = fault_reroute(sim_topology, commodities)
+                _cache_put(_routing_cache, routing_key, routing)
+        elif result.routing is not None and request.routing == "auto" and (
             request.map_request.mapper.startswith("nmap-t")
         ):
             # The split variants' own fractional routing is the point of
@@ -187,7 +239,7 @@ def run_sim(request: SimRequest) -> SimResponse:
         else:
             # Derived routing tables are pure functions of (mapping,
             # routing mode), so sweep points share one computation.
-            routing_key = (_map_cache_key(request.map_request), request.routing)
+            routing_key = (_map_cache_key(request.map_request), request.routing, None)
             routing = _cache_get(_routing_cache, routing_key)
             if routing is None:
                 if request.routing == "xy":
@@ -196,7 +248,7 @@ def run_sim(request: SimRequest) -> SimResponse:
                     routing = min_path_routing(topology, commodities)
                 _cache_put(_routing_cache, routing_key, routing)
         report = simulate_mapping(
-            topology, commodities, routing, config, engine=options.engine
+            sim_topology, commodities, routing, config, engine=options.engine
         )
     else:
         # Synthetic patterns drive the mapped topology directly (XY
@@ -270,14 +322,89 @@ def run(request: MapRequest | SimRequest) -> MapResponse | SimResponse:
 
 
 #: Executors ``run_batch`` can fan out over.
-BATCH_EXECUTORS = ("thread", "process")
+BATCH_EXECUTORS = ("serial", "thread", "process")
+
+#: Environment hooks for chaos testing the batch engine itself.  When a
+#: request's tag matches ``REPRO_CRASH_TAG``, the worker hard-exits before
+#: running it (simulating a segfaulting native kernel or an OOM kill); with
+#: ``REPRO_CRASH_ONCE`` set to a sentinel path, only the first worker to
+#: claim the sentinel crashes, so retries succeed.  ``REPRO_SLOW_TAG`` makes
+#: the matching request sleep ``REPRO_SLOW_SECONDS`` first (deterministic
+#: timeout testing).  These are test instruments: they act only when the
+#: variables are set, which no production surface does.
+_CRASH_TAG_ENV = "REPRO_CRASH_TAG"
+_CRASH_ONCE_ENV = "REPRO_CRASH_ONCE"
+_SLOW_TAG_ENV = "REPRO_SLOW_TAG"
+_SLOW_SECONDS_ENV = "REPRO_SLOW_SECONDS"
+
+#: Marker for a slot whose process worker died before returning anything.
+_WORKER_DIED = object()
+
+
+def _request_tag(request: MapRequest | SimRequest) -> str | None:
+    """The batch-correlation tag of a request (sim requests inherit it)."""
+    if isinstance(request, SimRequest):
+        return request.map_request.tag
+    return request.tag
+
+
+def _inject_batch_chaos(request: MapRequest | SimRequest) -> None:
+    """Honor the crash/slow test hooks for a matching request tag."""
+    tag = _request_tag(request)
+    if tag is None:
+        return
+    if os.environ.get(_CRASH_TAG_ENV) == tag:
+        sentinel = os.environ.get(_CRASH_ONCE_ENV)
+        if sentinel:
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return  # already crashed once; let the retry succeed
+            os.close(fd)
+        # A real crash, not an exception: no cleanup, no pickled traceback.
+        os._exit(23)
+    if os.environ.get(_SLOW_TAG_ENV) == tag:
+        time.sleep(float(os.environ.get(_SLOW_SECONDS_ENV, "1.0")))
+
+
+def _timeout_message(timeout: float) -> str:
+    return f"request did not complete within {timeout} s"
+
+
+def _guarded_run(
+    request: MapRequest | SimRequest, timeout: float | None
+) -> MapResponse | SimResponse | ErrorResponse:
+    """Run one batch slot; never raises.
+
+    Exceptions become :class:`ErrorResponse` payloads carrying the
+    exception class name and message — the same strings every executor
+    produces, so batch results stay byte-identical across serial, thread
+    and process execution.  When the run outlasts ``timeout``, the (late)
+    result is discarded for the timeout error, mirroring what the pool
+    front-end reports when it stops waiting.
+    """
+    start = time.monotonic()
+    _inject_batch_chaos(request)
+    try:
+        response: MapResponse | SimResponse | ErrorResponse = run(request)
+    except Exception as exc:  # noqa: BLE001 — slot isolation is the contract
+        response = ErrorResponse(
+            request=request, error=type(exc).__name__, message=str(exc)
+        )
+    if timeout is not None and time.monotonic() - start > timeout:
+        return ErrorResponse(
+            request=request, error="BatchError", message=_timeout_message(timeout)
+        )
+    return response
 
 
 def run_batch(
     requests: list[MapRequest | SimRequest],
     workers: int | None = None,
     executor: str = "thread",
-) -> list[MapResponse | SimResponse]:
+    timeout: float | None = None,
+    retries: int = 1,
+) -> list[MapResponse | SimResponse | ErrorResponse]:
     """Run many requests concurrently; responses keep request order.
 
     Determinism contract (regression-tested): every response is a pure
@@ -289,34 +416,107 @@ def run_batch(
     state, so ``workers=1`` and ``workers=8``, threads and processes, all
     produce byte-identical response payloads, in the same order.
 
+    Failure contract: one bad request never aborts the batch.  A request
+    that raises yields an :class:`ErrorResponse` in its slot (same payload
+    on every executor); a request that outlives ``timeout`` yields a
+    ``BatchError``-typed ``ErrorResponse``; a process worker that *dies*
+    (segfault, OOM kill) breaks only its own slots — the victims are
+    retried up to ``retries`` times in fresh single-worker pools (so a
+    deterministic crasher cannot take innocents down twice), and a slot
+    still failing after that yields a ``BatchError``-typed
+    ``ErrorResponse``.  Every other slot completes normally.
+
     Args:
         requests: any mix of map and sim requests.
         workers: worker count; defaults to ``min(len(requests), cpu_count)``
             and degrades to serial execution for empty/singleton batches.
-        executor: ``"thread"`` (default; fine for numpy/LP-bound mapping
-            jobs) or ``"process"`` (true multi-core for Python-bound jobs —
-            high-load simulation sweeps above all; requests and responses
-            cross the process boundary as pickled frozen payloads).
+        executor: ``"serial"`` (in-process, no pool — the reference
+            executor), ``"thread"`` (default; fine for numpy/LP-bound
+            mapping jobs) or ``"process"`` (true multi-core for
+            Python-bound jobs — high-load simulation sweeps above all;
+            requests and responses cross the process boundary as pickled
+            frozen payloads).
+        timeout: per-request wall-clock budget in seconds; None disables.
+            Pool executors stop waiting on a late slot (its worker finishes
+            in the background); the serial executor detects the overrun
+            after the fact.  Either way the slot reports the same payload.
+        retries: extra attempts for a slot whose process worker died.
 
     Raises:
-        ApiError: for a non-positive worker count or unknown executor.
+        ApiError: for a non-positive worker count, unknown executor,
+            non-positive timeout or negative retries.
     """
     if executor not in BATCH_EXECUTORS:
         raise ApiError(
             f"executor must be one of {', '.join(BATCH_EXECUTORS)}, "
             f"got {executor!r}"
         )
+    if timeout is not None and timeout <= 0:
+        raise ApiError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ApiError(f"retries must be >= 0, got {retries}")
     if not requests:
         return []
     if workers is None:
         workers = min(len(requests), os.cpu_count() or 1)
     if workers < 1:
         raise ApiError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(requests) == 1:
-        return [run(request) for request in requests]
+    if executor == "serial" or workers == 1 or len(requests) == 1:
+        return [_guarded_run(request, timeout) for request in requests]
+
     pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    results: list = [None] * len(requests)
     with pool_cls(max_workers=workers) as pool:
-        return list(pool.map(run, requests))
+        futures = [
+            pool.submit(_guarded_run, request, timeout) for request in requests
+        ]
+        for index, (request, future) in enumerate(zip(requests, futures)):
+            try:
+                results[index] = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                results[index] = ErrorResponse(
+                    request=request,
+                    error="BatchError",
+                    message=_timeout_message(timeout),
+                )
+            except BrokenExecutor:
+                results[index] = _WORKER_DIED
+            except Exception as exc:  # noqa: BLE001 — e.g. unpicklable result
+                results[index] = ErrorResponse(
+                    request=request, error=type(exc).__name__, message=str(exc)
+                )
+
+    # Retry slots whose worker died — each in its own fresh single-worker
+    # pool so a deterministically-crashing request cannot re-kill innocent
+    # neighbours, and a bounded number of times so it cannot loop forever.
+    for index, request in enumerate(requests):
+        if results[index] is not _WORKER_DIED:
+            continue
+        for _ in range(retries):
+            with ProcessPoolExecutor(max_workers=1) as retry_pool:
+                future = retry_pool.submit(_guarded_run, request, timeout)
+                try:
+                    results[index] = future.result(timeout=timeout)
+                    break
+                except FuturesTimeoutError:
+                    results[index] = ErrorResponse(
+                        request=request,
+                        error="BatchError",
+                        message=_timeout_message(timeout),
+                    )
+                    break
+                except BrokenExecutor:
+                    continue
+        if results[index] is _WORKER_DIED:
+            results[index] = ErrorResponse(
+                request=request,
+                error="BatchError",
+                message=(
+                    f"worker process died while running this request "
+                    f"({1 + retries} attempt(s))"
+                ),
+            )
+    return results
 
 
 def rebuild_mapping(response: MapResponse) -> Mapping:
@@ -328,4 +528,6 @@ def rebuild_mapping(response: MapResponse) -> Mapping:
     """
     app = resolve_app(response.request.app)
     topology = response.topology.build(app)
+    if response.request.faults is not None and not response.request.faults.is_empty:
+        topology = response.request.faults.apply(topology)
     return Mapping(app, topology, response.placement)

@@ -20,7 +20,22 @@ _ANNOTATION_TYPES: dict[str, tuple[type, ...]] = {
     "bool": (bool,),
     "int": (int,),
     "float": (int, float),
+    "str": (str,),
 }
+
+#: Objectives the cost-driven mappers (NMAP, annealing) can optimize.
+#: ``"comm-cost"`` is Equation 7 on the pristine fabric; ``"resilience"``
+#: is the expected Equation-7 cost over the single-link-failure ensemble
+#: (see :mod:`repro.faults.resilience`).
+MAPPER_OBJECTIVES = ("comm-cost", "resilience")
+
+
+def _check_objective(cls_name: str, objective: str) -> None:
+    if objective not in MAPPER_OBJECTIVES:
+        raise ApiError(
+            f"{cls_name}.objective must be one of "
+            f"{', '.join(MAPPER_OBJECTIVES)}, got {objective!r}"
+        )
 
 
 def _check_field_type(cls_name: str, name: str, annotation: str, value: Any) -> None:
@@ -100,10 +115,12 @@ class NmapOptions(MapperOptions):
 
     improve: bool = True
     max_passes: int | None = None
+    objective: str = "comm-cost"
 
     def validate(self) -> None:
         if self.max_passes is not None and self.max_passes < 1:
             raise ApiError(f"max_passes must be >= 1, got {self.max_passes}")
+        _check_objective(type(self).__name__, self.objective)
 
 
 @dataclass(frozen=True)
@@ -149,8 +166,10 @@ class AnnealingOptions(MapperOptions):
     cooling: float = 0.95
     moves_per_temperature: int | None = None
     min_temperature_fraction: float = 1e-4
+    objective: str = "comm-cost"
 
     def validate(self) -> None:
+        _check_objective(type(self).__name__, self.objective)
         if not (0.0 < self.cooling < 1.0):
             raise ApiError(f"cooling must be in (0, 1), got {self.cooling}")
         if self.initial_temperature is not None and self.initial_temperature <= 0:

@@ -27,6 +27,7 @@ from typing import Any
 from repro.api.options import MapperOptions
 from repro.api.registry import get_mapper, with_seed
 from repro.errors import ApiError
+from repro.faults.spec import FaultSpec
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
 
@@ -235,6 +236,10 @@ class MapRequest:
             bandwidth (single-path and split) for the final mapping.  Split
             pricing solves an LP; batch callers that only need costs turn
             this off.
+        faults: fault scenario injected *before* mapping — the algorithm
+            places cores on the degraded fabric (failed routers are never
+            placement targets, distances are surviving-hop distances).
+            None means a pristine fabric.
         tag: opaque caller label, carried through to the response (batch
             correlation).
     """
@@ -245,6 +250,7 @@ class MapRequest:
     options: MapperOptions | None = None
     seed: int | None = None
     price_bandwidth: bool = True
+    faults: FaultSpec | None = None
     tag: str | None = None
 
     def __post_init__(self) -> None:
@@ -256,6 +262,10 @@ class MapRequest:
                 )
         elif not isinstance(self.app, str) or not self.app:
             raise ApiError(f"app must be a name, path or payload, got {self.app!r}")
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ApiError(
+                f"faults must be a FaultSpec, got {type(self.faults).__name__}"
+            )
         entry = get_mapper(self.mapper)  # raises ApiError for unknown names
         entry.coerce_options(self.options)
         if self.seed is not None and not entry.seedable:
@@ -281,6 +291,7 @@ class MapRequest:
             "options": None if self.options is None else self.options.to_dict(),
             "seed": self.seed,
             "price_bandwidth": self.price_bandwidth,
+            "faults": None if self.faults is None else self.faults.to_dict(),
             "tag": self.tag,
         }
 
@@ -290,6 +301,7 @@ class MapRequest:
         mapper = data.get("mapper", "nmap")
         entry = get_mapper(mapper)
         raw_options = data.get("options")
+        raw_faults = data.get("faults")
         return cls(
             app=_required(data, "app", "map-request"),
             mapper=mapper,
@@ -297,6 +309,7 @@ class MapRequest:
             options=None if raw_options is None else entry.options_from_dict(raw_options),
             seed=data.get("seed"),
             price_bandwidth=data.get("price_bandwidth", True),
+            faults=None if raw_faults is None else FaultSpec.from_dict(raw_faults),
             tag=data.get("tag"),
         )
 
@@ -485,6 +498,12 @@ class SimRequest:
             variants and load-balanced minimum paths otherwise;
             ``"min-path"`` and ``"xy"`` force those routers.  Synthetic
             traffic always routes XY.
+        faults: fault scenario injected *at simulation time*, on top of any
+            faults the mapping request already carries — the placement is
+            kept, but traffic is rerouted around the failures (see
+            :func:`repro.faults.fault_reroute`).  Fault scenarios require
+            deterministic XY routing to be off (``routing != "xy"``) and
+            trace traffic, because only the min-path router is fault-aware.
         options: engine/traffic/router-model knobs (:class:`SimOptions`).
     """
 
@@ -495,6 +514,7 @@ class SimRequest:
     mean_burst_packets: float = 4.0
     sim_seed: int = 1
     routing: str = "auto"
+    faults: FaultSpec | None = None
     options: SimOptions = field(default_factory=SimOptions)
 
     def __post_init__(self) -> None:
@@ -516,6 +536,26 @@ class SimRequest:
                 f"synthetic traffic {self.options.traffic!r} always routes XY; "
                 f"routing must stay 'auto', got {self.routing!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ApiError(
+                f"faults must be a FaultSpec, got {type(self.faults).__name__}"
+            )
+        has_faults = (self.faults is not None and not self.faults.is_empty) or (
+            self.map_request.faults is not None
+            and not self.map_request.faults.is_empty
+        )
+        if has_faults:
+            if self.options.traffic != "trace":
+                raise ApiError(
+                    "fault scenarios require trace traffic; synthetic "
+                    "patterns route XY, which cannot steer around failures"
+                )
+            if self.routing == "xy":
+                raise ApiError(
+                    "fault scenarios cannot use XY routing — deterministic "
+                    "dimension-order paths cannot avoid failed links; use "
+                    "'auto' or 'min-path'"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -528,6 +568,7 @@ class SimRequest:
             "mean_burst_packets": self.mean_burst_packets,
             "sim_seed": self.sim_seed,
             "routing": self.routing,
+            "faults": None if self.faults is None else self.faults.to_dict(),
             "options": self.options.to_dict(),
         }
 
@@ -535,6 +576,7 @@ class SimRequest:
     def from_dict(cls, payload: dict[str, Any]) -> "SimRequest":
         data = _check_envelope(payload, "sim-request")
         raw_options = data.get("options")
+        raw_faults = data.get("faults")
         return cls(
             map_request=MapRequest.from_dict(
                 _required(data, "map_request", "sim-request")
@@ -545,6 +587,7 @@ class SimRequest:
             mean_burst_packets=data.get("mean_burst_packets", 4.0),
             sim_seed=data.get("sim_seed", 1),
             routing=data.get("routing", "auto"),
+            faults=None if raw_faults is None else FaultSpec.from_dict(raw_faults),
             options=(
                 SimOptions() if raw_options is None
                 else SimOptions.from_dict(raw_options)
@@ -645,6 +688,74 @@ class SimResponse:
                 str(flow): dict(stats)
                 for flow, stats in data.get("per_flow", {}).items()
             },
+        )
+
+
+# ----------------------------------------------------------------------
+# batch failure reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed batch slot, holding its place so the batch stays aligned.
+
+    :func:`repro.api.run_batch` never lets one bad request abort the whole
+    fan-out: a request that raises, crashes its worker, or exceeds the
+    batch timeout yields an ``ErrorResponse`` in its slot while every other
+    slot completes normally.  The payload echoes the request so a failed
+    slot can be retried stand-alone.
+
+    Attributes:
+        request: the request that failed (echoed verbatim).
+        error: the exception class name (``"FaultError"``, ``"BatchError"``,
+            ...).
+        message: the exception message, stable across executors so batch
+            results are byte-identical whether run serially, in threads or
+            in processes.
+    """
+
+    request: MapRequest | SimRequest
+    error: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.request, (MapRequest, SimRequest)):
+            raise ApiError(
+                f"request must be a MapRequest or SimRequest, "
+                f"got {type(self.request).__name__}"
+            )
+        if not self.error or not isinstance(self.error, str):
+            raise ApiError(f"error must be an exception class name, got {self.error!r}")
+        if not isinstance(self.message, str):
+            raise ApiError(f"message must be a string, got {self.message!r}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary (``FaultError: ...``)."""
+        return f"{self.error}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "error-response",
+            "request": self.request.to_dict(),
+            "error": self.error,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ErrorResponse":
+        data = _check_envelope(payload, "error-response")
+        raw_request = _required(data, "request", "error-response")
+        if not isinstance(raw_request, dict):
+            raise ApiError(f"error-response request must be a dict, got {raw_request!r}")
+        request: MapRequest | SimRequest
+        if raw_request.get("kind") == "sim-request":
+            request = SimRequest.from_dict(raw_request)
+        else:
+            request = MapRequest.from_dict(raw_request)
+        return cls(
+            request=request,
+            error=_required(data, "error", "error-response"),
+            message=_required(data, "message", "error-response"),
         )
 
 

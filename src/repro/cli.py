@@ -28,6 +28,8 @@ from pathlib import Path
 
 from repro.api import (
     BATCH_EXECUTORS,
+    ErrorResponse,
+    FaultSpec,
     MapRequest,
     SimOptions,
     SimRequest,
@@ -60,11 +62,33 @@ def _topology_spec(args: argparse.Namespace) -> TopologySpec:
     return TopologySpec.parse(spec, link_bandwidth=args.link_bw)
 
 
+def _fault_spec(args: argparse.Namespace) -> FaultSpec | None:
+    """The :class:`FaultSpec` the fault flags describe, or None for none."""
+    failed_links = tuple(
+        FaultSpec.parse_link(text) for text in (getattr(args, "fail_link", None) or [])
+    )
+    failed_routers = tuple(getattr(args, "fail_router", None) or [])
+    degraded = tuple(
+        FaultSpec.parse_degraded(text)
+        for text in (getattr(args, "degrade_link", None) or [])
+    )
+    random_failures = getattr(args, "random_link_failures", 0) or 0
+    spec = FaultSpec(
+        failed_links=failed_links,
+        failed_routers=failed_routers,
+        degraded_links=degraded,
+        random_link_failures=random_failures,
+        fault_seed=getattr(args, "fault_seed", 0) or 0,
+    )
+    return None if spec.is_empty else spec
+
+
 def _map_request(
     args: argparse.Namespace,
     mapper: str | None = None,
     price_bandwidth: bool = True,
     seed_only_if_seedable: bool = False,
+    faults: FaultSpec | None = None,
 ) -> MapRequest:
     """Build the validated :class:`MapRequest` an argv namespace describes.
 
@@ -86,6 +110,7 @@ def _map_request(
         options=options,
         seed=seed,
         price_bandwidth=price_bandwidth,
+        faults=faults,
     )
 
 
@@ -110,7 +135,7 @@ def _cmd_list_mappers(_args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    response = run_map(_map_request(args))
+    response = run_map(_map_request(args, faults=_fault_spec(args)))
     spec = response.topology
     print(f"application : {response.app_name}")
     print(
@@ -146,6 +171,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         mean_burst_packets=args.burst,
         sim_seed=args.sim_seed,
+        faults=_fault_spec(args),
         options=SimOptions(
             engine=args.engine,
             traffic=args.traffic,
@@ -155,6 +181,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
     )
     response = run_sim(request)
+    if request.faults is not None:
+        print(f"faults injected  : {request.faults.describe()}")
     print(
         f"engine / traffic : {request.options.engine} / "
         f"{request.options.traffic}"
@@ -189,12 +217,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.faults import fault_reroute
     from repro.graphs.commodities import build_commodities
     from repro.routing.min_path import min_path_routing
 
-    topology, result = execute_map(_map_request(args, price_bandwidth=False))
+    topology, result = execute_map(
+        _map_request(args, price_bandwidth=False, faults=_fault_spec(args))
+    )
     commodities = build_commodities(result.mapping.core_graph, result.mapping)
-    routing = min_path_routing(topology, commodities)
+    if topology.is_degraded:
+        # Deadlock-verified rerouting: a netlist compiled around faults must
+        # not bake in a cyclic channel-dependency graph.
+        routing = fault_reroute(topology, commodities)
+    else:
+        routing = min_path_routing(topology, commodities)
     design = compile_design(result.mapping, routing)
     for key, value in design.summary().items():
         print(f"{key:20s} {value}")
@@ -209,22 +245,28 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    faults = _fault_spec(args)
     requests = [
-        _map_request(args, mapper=name, price_bandwidth=True, seed_only_if_seedable=True)
+        _map_request(args, mapper=name, price_bandwidth=True,
+                     seed_only_if_seedable=True, faults=faults)
         for name in args.algorithms
     ]
     responses = run_batch(requests, workers=args.workers, executor=args.executor)
-    first = responses[0].topology
-    print(
-        f"{responses[0].app_name} on {first.describe()}, "
-        f"link BW {first.link_bandwidth:.0f} MB/s"
-    )
+    completed = [r for r in responses if not isinstance(r, ErrorResponse)]
+    if completed:
+        first = completed[0].topology
+        print(
+            f"{completed[0].app_name} on {first.describe()}, "
+            f"link BW {first.link_bandwidth:.0f} MB/s"
+        )
     print(
         f"{'algorithm':>10} {'comm cost':>10} {'feasible':>9} "
         f"{'minBW(1path)':>13} {'minBW(split)':>13}"
     )
     for name, response in zip(args.algorithms, responses):
-        if response.feasible:
+        if isinstance(response, ErrorResponse):
+            print(f"{name:>10} failed: {response.describe()}")
+        elif response.feasible:
             print(
                 f"{name:>10} {response.comm_cost:>10.0f} {'yes':>9} "
                 f"{response.min_bw_single:>13.0f} {response.min_bw_split:>13.0f}"
@@ -261,6 +303,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     mappers = list_mappers()
 
+    def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group(
+            "fault injection",
+            "inject failures into the fabric ('map', 'design' and 'compare' "
+            "map around them; 'simulate' keeps the mapping and reroutes "
+            "traffic around them)",
+        )
+        group.add_argument(
+            "--fail-link",
+            action="append",
+            metavar="A-B",
+            help="fail the undirected link between nodes A and B (repeatable)",
+        )
+        group.add_argument(
+            "--fail-router",
+            action="append",
+            type=int,
+            metavar="NODE",
+            help="fail a router: all its links go down (repeatable)",
+        )
+        group.add_argument(
+            "--degrade-link",
+            action="append",
+            metavar="A-B:F",
+            help="scale a link's bandwidth by factor F in (0,1) (repeatable)",
+        )
+        group.add_argument(
+            "--random-link-failures",
+            type=int,
+            default=0,
+            metavar="N",
+            help="additionally fail N random links (seeded, deterministic)",
+        )
+        group.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for --random-link-failures draws",
+        )
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--app", required=True, help="app name or core-graph JSON path")
         p.add_argument("--algorithm", default="nmap", choices=mappers)
@@ -287,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="KEY=VALUE",
             help="algorithm option (repeatable), e.g. --mapper-opt cooling=0.9",
         )
+        _add_fault_flags(p)
 
     p_map = sub.add_parser("map", help="map an application onto a mesh/torus")
     add_common(p_map)
@@ -371,8 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         default="thread",
         choices=BATCH_EXECUTORS,
-        help="batch executor: thread (default) or process (true multi-core)",
+        help="batch executor: serial, thread (default) or process (true multi-core)",
     )
+    _add_fault_flags(p_cmp)
     p_cmp.add_argument(
         "--out-json",
         default=None,

@@ -37,6 +37,28 @@ class SolverError(ReproError):
     """The LP/ILP backend failed or returned an unusable status."""
 
 
+class FaultError(ReproError):
+    """A fault scenario cannot be carried out on the given fabric.
+
+    Raised when a :class:`repro.faults.FaultSpec` names links or routers the
+    topology does not have, when injected faults disconnect a commodity's
+    source from its destination (no surviving minimal path), or when
+    rerouting around faults re-introduces a channel-dependency cycle that
+    the mandatory deadlock re-check refuses to ship.
+    """
+
+
+class BatchError(ReproError):
+    """A batch slot failed for infrastructure reasons, not request content.
+
+    Used by :func:`repro.api.run_batch` to label per-slot failures that are
+    properties of the execution environment — a worker process that died
+    executing the request (after the bounded retries were exhausted) or a
+    request exceeding the batch's per-request timeout — as opposed to typed
+    library errors the request itself raised.
+    """
+
+
 class SimulationError(ReproError):
     """The cycle-level NoC simulator was configured or driven incorrectly."""
 

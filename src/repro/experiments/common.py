@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.api import MapRequest, MapResponse, MapperOptions, TopologySpec, run_batch
-from repro.errors import ApiError
+from repro.errors import ApiError, ReproError
 from repro.graphs.core_graph import CoreGraph
 from repro.graphs.topology import NoCTopology
 
@@ -38,7 +38,7 @@ class ExperimentTable:
         for row in self.rows:
             if row[0] == key:
                 return row
-        raise KeyError(f"no row with key {key!r} in {self.title}")
+        raise ReproError(f"no row with key {key!r} in {self.title}")
 
     def render(self) -> str:
         return render_table(self.title, self.headers, self.rows, self.notes)

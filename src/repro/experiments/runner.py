@@ -11,6 +11,7 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5c import run_fig5c
 from repro.experiments.ilp_gap import run_ilp_gap
 from repro.experiments.latency_sweep import run_latency_sweep
+from repro.experiments.resilience_sweep import run_resilience_sweep
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -26,6 +27,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "ilp-gap": run_ilp_gap,
     "topology": run_topology_explore,
     "latency-sweep": run_latency_sweep,
+    "resilience": run_resilience_sweep,
 }
 
 

@@ -1,0 +1,41 @@
+"""``repro.faults`` — fault injection, rerouting and resilience objectives.
+
+Three pieces:
+
+* :class:`~repro.faults.spec.FaultSpec` — the frozen, JSON-round-trippable
+  description of a fault scenario (failed links/routers, degraded links,
+  seeded random ensembles); ``apply()`` produces the degraded
+  :class:`~repro.graphs.topology.NoCTopology` view.
+* :func:`~repro.faults.reroute.fault_reroute` — surviving-minimal-path
+  rerouting with the mandatory deadlock-freedom re-check
+  (:class:`~repro.errors.FaultError` on disconnection or cycles).
+* :mod:`~repro.faults.resilience` — the expected-cost-under-failure
+  mapping objective NMAP and annealing optimize via
+  ``options.objective="resilience"``.
+"""
+
+from repro.faults.reroute import (
+    check_commodities_connected,
+    fault_reroute,
+    verify_deadlock_free,
+)
+from repro.faults.resilience import (
+    expected_fault_cost,
+    resilience_distance_sum,
+    resilience_view,
+    single_link_failure_ensemble,
+    undirected_links,
+)
+from repro.faults.spec import FaultSpec
+
+__all__ = [
+    "FaultSpec",
+    "check_commodities_connected",
+    "expected_fault_cost",
+    "fault_reroute",
+    "resilience_distance_sum",
+    "resilience_view",
+    "single_link_failure_ensemble",
+    "undirected_links",
+    "verify_deadlock_free",
+]

@@ -1,0 +1,89 @@
+"""The resilience mapping objective: expected cost under link failures.
+
+A placement that is optimal on the pristine fabric can sit its heaviest
+flows on paths that a single failed link stretches badly.  The resilience
+objective scores a placement by its *expected* Equation-7 communication
+cost over the **single-link-failure ensemble** — one scenario per
+undirected link, each scenario's hop distances taken from BFS over the
+surviving links.
+
+The trick that keeps this exactly as cheap as the normal objective:
+Equation-7 cost is *linear* in the hop-distance matrix, so
+
+``sum over scenarios of cost(placement, D_scenario)
+  == cost(placement, sum over scenarios of D_scenario)``.
+
+We therefore pre-sum the ensemble's (integer) distance matrices once per
+topology and hand the mappers a :meth:`~repro.graphs.topology.NoCTopology
+.with_distance_metric` view carrying that summed matrix — every existing
+cost kernel (``comm_cost``, the vectorized swap scoring) prices the whole
+ensemble per call, bit-exactly (integer bandwidths x integer summed
+distances, no averaging round-off; the ensemble size divides out only in
+the final reported expectation).  ``argmin`` is unchanged by the constant
+factor, so optimizing the view optimizes the expectation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graphs.topology import NoCTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapping.base import Mapping
+
+
+def undirected_links(topology: NoCTopology) -> list[tuple[int, int]]:
+    """The topology's undirected links as sorted ``(low, high)`` pairs."""
+    return sorted({(min(u, v), max(u, v)) for u, v in topology.link_keys()})
+
+
+def single_link_failure_ensemble(topology: NoCTopology) -> list["NoCTopology"]:
+    """One degraded view per undirected link failure, in stable link order."""
+    return [
+        topology.with_failed_links([link]) for link in undirected_links(topology)
+    ]
+
+
+def resilience_distance_sum(topology: NoCTopology) -> tuple[np.ndarray, int]:
+    """``(sum of masked distance matrices, ensemble size)`` for the topology.
+
+    The sum is exact int64 arithmetic; disconnection sentinels
+    (:data:`~repro.graphs.topology.UNREACHABLE`) survive into the sum, so a
+    placement that depends on a single-point-of-failure pair is dominated
+    by every alternative that does not.
+    """
+    links = undirected_links(topology)
+    total = np.zeros((topology.num_nodes, topology.num_nodes), dtype=np.int64)
+    for link in links:
+        total += topology.with_failed_links([link]).distance_matrix()
+    return total, len(links)
+
+
+def resilience_view(topology: NoCTopology) -> tuple[NoCTopology, int]:
+    """A metric view pricing the whole failure ensemble per cost call.
+
+    Returns ``(view, ensemble_size)``; run placement *search* on the view,
+    but route and report on the real topology — the view's metric is a sum
+    of scenario distances, not a routable geometry.
+    """
+    matrix, size = resilience_distance_sum(topology)
+    return topology.with_distance_metric(matrix), size
+
+
+def expected_fault_cost(mapping: "Mapping") -> float:
+    """Expected Equation-7 cost of a placement over single-link failures.
+
+    Evaluates the placement against the ensemble-summed metric and divides
+    by the ensemble size.  Values at or above
+    ``UNREACHABLE / ensemble_size`` mean some scenario disconnects a
+    communicating pair.
+    """
+    from repro.mapping.base import Mapping
+    from repro.metrics.comm_cost import comm_cost
+
+    view, size = resilience_view(mapping.topology)
+    priced = Mapping(mapping.core_graph, view, mapping.placement)
+    return comm_cost(priced) / size

@@ -17,6 +17,12 @@ import numpy as np
 
 from repro.errors import GraphError
 
+#: Hop-distance sentinel for node pairs disconnected by failed links/routers.
+#: Large enough that any placement using a disconnected pair is dominated by
+#: every reachable alternative, small enough that int64 sums over whole
+#: distance matrices (resilience ensembles) can never overflow.
+UNREACHABLE = 1 << 30
+
 
 @dataclass(frozen=True, order=True)
 class Link:
@@ -75,6 +81,11 @@ class NoCTopology:
         self._links_version = 0
         self._link_arrays: tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
         self._monotone_cache: dict[tuple[int, int], dict[int, tuple[int, ...]]] = {}
+        # Fault-mask state: degraded views (with_failed_links/_routers) carry
+        # a pruned link set, so hop distances come from BFS over the
+        # surviving links instead of the geometric formula.
+        self._degraded = False
+        self._failed_routers: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -177,6 +188,9 @@ class NoCTopology:
 
     def _build_distance_cache(self) -> None:
         """Precompute the full hop-distance table (O(N^2), built once)."""
+        if self._degraded:
+            self._build_bfs_distance_cache()
+            return
         ids = np.arange(self.num_nodes)
         xs = ids % self.width
         ys = ids // self.width
@@ -188,6 +202,34 @@ class NoCTopology:
         matrix = (dx + dy).astype(np.int64)
         self._dist_matrix = matrix
         self._dist_flat = matrix.ravel().tolist()
+
+    def _build_bfs_distance_cache(self) -> None:
+        """All-pairs BFS over the surviving links (degraded views only).
+
+        The geometric Manhattan/torus formula is wrong the moment a link is
+        gone, so degraded topologies pay one O(N * (N + L)) BFS sweep;
+        unreachable pairs get the :data:`UNREACHABLE` sentinel, which makes
+        every distance-based kernel (Equation-7 cost, swap scoring, the
+        constructive initializer) naturally steer clear of dead regions.
+        """
+        n = self.num_nodes
+        flat: list[int] = []
+        for src in range(n):
+            dist = [UNREACHABLE] * n
+            dist[src] = 0
+            frontier = [src]
+            while frontier:
+                nxt: list[int] = []
+                for node in frontier:
+                    step = dist[node] + 1
+                    for neighbor in self._adjacency[node]:
+                        if dist[neighbor] > step:
+                            dist[neighbor] = step
+                            nxt.append(neighbor)
+                frontier = nxt
+            flat.extend(dist)
+        self._dist_flat = flat
+        self._dist_matrix = np.array(flat, dtype=np.int64).reshape(n, n)
 
     def distance_matrix(self) -> np.ndarray:
         """The cached ``(N, N)`` int64 hop-distance matrix.
@@ -281,6 +323,128 @@ class NoCTopology:
             cached = {node: tuple(nexts) for node, nexts in outgoing.items()}
             self._monotone_cache[key] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # fault masks
+    # ------------------------------------------------------------------
+    @property
+    def is_degraded(self) -> bool:
+        """True for views produced by :meth:`with_failed_links`/`_routers`."""
+        return self._degraded
+
+    @property
+    def failed_routers(self) -> frozenset[int]:
+        """Nodes whose router is failed (every incident link removed)."""
+        return self._failed_routers
+
+    @property
+    def num_healthy_nodes(self) -> int:
+        """Nodes with a working router (the placeable set for mappings)."""
+        return self.num_nodes - len(self._failed_routers)
+
+    def healthy_nodes(self) -> list[int]:
+        """Node ids with a working router, in ascending order."""
+        if not self._failed_routers:
+            return list(self.nodes)
+        return [node for node in self.nodes if node not in self._failed_routers]
+
+    def _masked_copy(
+        self,
+        removed_links: set[tuple[int, int]],
+        failed_routers: frozenset[int],
+    ) -> "NoCTopology":
+        """A degraded clone without the given links, with fresh lazy caches."""
+        clone = NoCTopology(self.width, self.height,
+                            link_bandwidth=min(self._links.values(), default=1000.0),
+                            torus=self.torus)
+        clone._links = {
+            key: bandwidth
+            for key, bandwidth in self._links.items()
+            if key not in removed_links
+        }
+        clone._adjacency = {
+            node: [dst for dst in self._adjacency[node]
+                   if (node, dst) not in removed_links]
+            for node in self.nodes
+        }
+        clone._degraded = True
+        clone._failed_routers = self._failed_routers | failed_routers
+        # The constructor pre-filled full-mesh caches for nothing; reset so
+        # the pruned link set drives every lazy rebuild.
+        clone._dist_flat = None
+        clone._dist_matrix = None
+        clone._links_version = 0
+        clone._link_arrays = None
+        clone._monotone_cache = {}
+        return clone
+
+    def with_failed_links(
+        self, links: "list[tuple[int, int]] | tuple[tuple[int, int], ...]"
+    ) -> "NoCTopology":
+        """A degraded view with the given links failed in *both* directions.
+
+        Links are undirected for fault purposes — a broken wire kills both
+        channels, and the simulator's credit loops require symmetric
+        adjacency.  Hop distances on the view come from BFS over the
+        surviving links (:data:`UNREACHABLE` for disconnected pairs).
+
+        Raises:
+            GraphError: when a named link does not exist in this topology.
+        """
+        removed: set[tuple[int, int]] = set()
+        for a, b in links:
+            if not (self.has_link(a, b) or self.has_link(b, a)):
+                raise GraphError(f"no link between {a} and {b} in {self!r}")
+            removed.add((a, b))
+            removed.add((b, a))
+        return self._masked_copy(removed, frozenset())
+
+    def with_failed_routers(self, routers: "list[int] | tuple[int, ...]") -> "NoCTopology":
+        """A degraded view with the given routers (and all their links) failed.
+
+        The nodes stay addressable — coordinates and ids are geometry — but
+        carry no links, so nothing can route through or terminate at them;
+        they are excluded from :meth:`healthy_nodes` and mappings reject
+        placements on them.
+
+        Raises:
+            GraphError: for node ids outside the topology.
+        """
+        failed = frozenset(routers)
+        for node in failed:
+            self._require_node(node)
+        removed: set[tuple[int, int]] = set()
+        for node in failed:
+            for neighbor in self._adjacency[node]:
+                removed.add((node, neighbor))
+                removed.add((neighbor, node))
+        return self._masked_copy(removed, failed)
+
+    def with_distance_metric(self, matrix: np.ndarray) -> "NoCTopology":
+        """A clone whose hop-distance metric is replaced by ``matrix``.
+
+        The link set and bandwidths are copied unchanged; only the cached
+        distance table is pre-seeded with the given ``(N, N)`` int64 matrix.
+        This is the substrate of the resilience mapping objective: Equation-7
+        cost is *linear* in the distance matrix, so evaluating a placement
+        against an ensemble-summed matrix prices the whole failure ensemble
+        in one ordinary cost call.  Do not route on the returned view — its
+        metric is no longer the surviving-hop distance.
+
+        Raises:
+            GraphError: when the matrix shape does not match the node count.
+        """
+        n = self.num_nodes
+        if getattr(matrix, "shape", None) != (n, n):
+            raise GraphError(
+                f"distance metric must be ({n}, {n}), got "
+                f"{getattr(matrix, 'shape', None)}"
+            )
+        clone = self._masked_copy(set(), frozenset())
+        metric = np.asarray(matrix, dtype=np.int64)
+        clone._dist_matrix = metric
+        clone._dist_flat = metric.ravel().tolist()
+        return clone
 
     # ------------------------------------------------------------------
     # export

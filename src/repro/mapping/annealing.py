@@ -40,6 +40,7 @@ def annealing_mapping(
     cooling: float = 0.95,
     moves_per_temperature: int | None = None,
     min_temperature_fraction: float = 1e-4,
+    objective: str = "comm-cost",
 ) -> MappingResult:
     """Map cores with simulated annealing over pairwise swaps.
 
@@ -55,6 +56,11 @@ def annealing_mapping(
             ``4 * |U|``.
         min_temperature_fraction: stop when the temperature falls below
             this fraction of the initial temperature.
+        objective: ``"comm-cost"`` (Equation 7) or ``"resilience"``
+            (expected cost over the single-link-failure ensemble; the
+            anneal scores moves on the ensemble metric view of
+            :mod:`repro.faults.resilience` and the final mapping is routed
+            and priced on the real fabric).
 
     Returns:
         :class:`MappingResult` priced with single-minimum-path routing.
@@ -64,8 +70,16 @@ def annealing_mapping(
     if not (0.0 < cooling < 1.0):
         raise MappingError(f"cooling factor must be in (0, 1), got {cooling}")
 
+    resilience = objective == "resilience"
+    if resilience:
+        from repro.faults.resilience import resilience_view
+
+        search_topology, ensemble_size = resilience_view(topology)
+    else:
+        search_topology, ensemble_size = topology, 0
+
     rng = random.Random(seed)
-    mapping = initial_mapping(core_graph, topology)
+    mapping = initial_mapping(core_graph, search_topology)
     current_cost = comm_cost(mapping)
     best_mapping = mapping.copy()
     best_cost = current_cost
@@ -77,7 +91,7 @@ def annealing_mapping(
     )
     floor = temperature * min_temperature_fraction
     moves = moves_per_temperature or 4 * topology.num_nodes
-    nodes = list(topology.nodes)
+    nodes = search_topology.healthy_nodes()
 
     accepted = 0
     attempted = 0
@@ -95,6 +109,18 @@ def annealing_mapping(
                     best_mapping = mapping.copy()
         temperature *= cooling
 
+    stats = {
+        "moves_attempted": attempted,
+        "moves_accepted": accepted,
+        "final_temperature": temperature,
+    }
+    if resilience:
+        # The anneal scored moves on the ensemble metric view; re-anchor on
+        # the real fabric for routing and the reported Equation-7 cost.
+        stats["objective"] = objective
+        stats["expected_fault_cost"] = comm_cost(best_mapping) / ensemble_size
+        best_mapping = Mapping(core_graph, topology, best_mapping.placement)
+
     commodities = build_commodities(core_graph, best_mapping)
     routing = min_path_routing(topology, commodities)
     feasible = routing.is_feasible()
@@ -104,9 +130,5 @@ def annealing_mapping(
         feasible=feasible,
         algorithm="annealing",
         routing=routing,
-        stats={
-            "moves_attempted": attempted,
-            "moves_accepted": accepted,
-            "final_temperature": temperature,
-        },
+        stats=stats,
     )

@@ -37,6 +37,12 @@ class Mapping:
                 f"{core_graph.num_cores} cores cannot map onto "
                 f"{topology.num_nodes} nodes (need |V| <= |U|)"
             )
+        if core_graph.num_cores > topology.num_healthy_nodes:
+            raise MappingError(
+                f"{core_graph.num_cores} cores cannot map onto the "
+                f"{topology.num_healthy_nodes} surviving nodes of {topology!r} "
+                f"({len(topology.failed_routers)} router(s) failed)"
+            )
         self.core_graph = core_graph
         self.topology = topology
         self._core_to_node: dict[str, int] = {}
@@ -62,6 +68,8 @@ class Mapping:
             raise MappingError(f"unknown core {core!r}")
         if not (0 <= node < self.topology.num_nodes):
             raise MappingError(f"node {node} outside the topology")
+        if node in self.topology.failed_routers:
+            raise MappingError(f"node {node} hosts a failed router")
         if core in self._core_to_node:
             raise MappingError(f"core {core!r} already mapped to {self._core_to_node[core]}")
         if node in self._node_to_core:
@@ -96,6 +104,8 @@ class Mapping:
         for node in (node_a, node_b):
             if not (0 <= node < self.topology.num_nodes):
                 raise MappingError(f"node {node} outside the topology")
+            if node in self.topology.failed_routers:
+                raise MappingError(f"node {node} hosts a failed router")
         core_a = self._node_to_core.pop(node_a, None)
         core_b = self._node_to_core.pop(node_b, None)
         if core_a is not None:
@@ -167,8 +177,17 @@ class Mapping:
         return set(self._node_to_core)
 
     def free_nodes(self) -> list[int]:
-        """Unoccupied nodes, in ascending id order (deterministic tie-breaks)."""
-        return [node for node in self.topology.nodes if node not in self._node_to_core]
+        """Unoccupied healthy nodes, ascending id order (deterministic ties).
+
+        Failed routers are never free: a core placed there could neither
+        send nor receive, so every placement strategy skips them.
+        """
+        failed = self.topology.failed_routers
+        return [
+            node
+            for node in self.topology.nodes
+            if node not in self._node_to_core and node not in failed
+        ]
 
     # ------------------------------------------------------------------
     # fast-path array views

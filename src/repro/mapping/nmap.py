@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro import fastpath
 from repro.api.options import NmapOptions
+from repro.errors import MappingError
 from repro.api.registry import register_mapper
 from repro.graphs.commodities import build_commodities
 from repro.graphs.core_graph import CoreGraph
@@ -70,6 +71,7 @@ def nmap_single_path(
     topology: NoCTopology,
     improve: bool = True,
     max_passes: int | None = None,
+    objective: str = "comm-cost",
 ) -> MappingResult:
     """Run the full NMAP single-minimum-path algorithm.
 
@@ -83,13 +85,38 @@ def nmap_single_path(
             accepted (a fixpoint of the same neighborhood, at most
             ``|U|`` sweeps), which only ever improves on the single sweep.
             Pass ``1`` for the literal pseudo-code behaviour.
+        objective: ``"comm-cost"`` (Equation 7, the paper's objective) or
+            ``"resilience"`` — the same search, but swaps are scored by
+            expected cost over the single-link-failure ensemble (see
+            :mod:`repro.faults.resilience`).  The final mapping is routed
+            and priced on the pristine fabric either way.
 
     Returns:
         A :class:`MappingResult`; ``comm_cost`` is ``inf`` when no
         bandwidth-feasible mapping was found.
+
+    Raises:
+        MappingError: for ``objective="resilience"`` on a fabric whose link
+            capacities could make a routing infeasible — the ensemble view
+            is not routable, so the search needs the pure-cost regime.
     """
-    mapping = initial_mapping(core_graph, topology)
-    skip_routing = _trivially_feasible(core_graph, topology)
+    resilience = objective == "resilience"
+    if resilience:
+        from repro.faults.resilience import resilience_view
+
+        if not _trivially_feasible(core_graph, topology):
+            raise MappingError(
+                "objective='resilience' requires link capacities at or above "
+                "the application's total bandwidth (the pure-cost regime): "
+                "the ensemble metric view cannot be routed for feasibility "
+                "checks"
+            )
+        search_topology, ensemble_size = resilience_view(topology)
+    else:
+        search_topology, ensemble_size = topology, 0
+
+    mapping = initial_mapping(core_graph, search_topology)
+    skip_routing = resilience or _trivially_feasible(core_graph, topology)
 
     if skip_routing:
         best_cost: float = comm_cost(mapping)
@@ -101,7 +128,7 @@ def nmap_single_path(
              "passes": 0}
 
     if improve:
-        nodes = list(topology.nodes)
+        nodes = search_topology.healthy_nodes()
         pass_limit = max_passes if max_passes is not None else len(nodes)
         for _ in range(pass_limit):
             stats["passes"] += 1
@@ -149,6 +176,14 @@ def nmap_single_path(
                     accepted_this_pass += 1
             if accepted_this_pass == 0:
                 break
+
+    if resilience:
+        # The search ran on the ensemble metric view; re-anchor the result on
+        # the real fabric so routing and the reported Equation-7 cost are the
+        # pristine ones.  The expectation the search optimized is in stats.
+        stats["objective"] = objective
+        stats["expected_fault_cost"] = comm_cost(mapping) / ensemble_size
+        mapping = Mapping(core_graph, topology, mapping.placement)
 
     final_cost, routing, feasible = (
         (comm_cost(mapping), None, True) if skip_routing else evaluate_single_path(mapping)

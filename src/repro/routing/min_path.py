@@ -27,6 +27,56 @@ from repro.graphs.topology import NoCTopology
 from repro.routing.base import RoutingResult, path_links
 
 
+def _dijkstra(
+    outgoing: "dict[int, tuple[int, ...]] | dict[int, list[int]]",
+    src: int,
+    dst: int,
+    link_loads: dict[tuple[int, int], float],
+    base_weight: float,
+) -> list[int] | None:
+    """Least-accumulated-load path over a DAG adjacency, or None.
+
+    Dijkstra with ``(total weight, path)`` entries; ties broken by node ids
+    via the path tuple, which keeps results deterministic.
+    """
+    best: dict[int, float] = {src: 0.0}
+    heap: list[tuple[float, tuple[int, ...]]] = [(0.0, (src,))]
+    while heap:
+        weight, path = heapq.heappop(heap)
+        node = path[-1]
+        if node == dst:
+            return list(path)
+        if weight > best.get(node, float("inf")):
+            continue
+        for nxt in outgoing.get(node, []):
+            step = base_weight + link_loads.get((node, nxt), 0.0)
+            candidate = weight + step
+            if candidate < best.get(nxt, float("inf")):
+                best[nxt] = candidate
+                heapq.heappush(heap, (candidate, path + (nxt,)))
+    return None
+
+
+def _degraded_monotone_outgoing(
+    topology: NoCTopology, dst: int
+) -> dict[int, list[int]]:
+    """The global monotone DAG toward ``dst`` over the surviving links.
+
+    Fault fallback: on a degraded topology a failed link can force every
+    surviving minimal path *outside* the geometric quadrant, so the
+    quadrant restriction no longer covers the minimal-path set.  Links that
+    strictly decrease the masked (BFS) hop distance to ``dst`` do: adjacent
+    nodes differ by at most one hop, so every monotone step decreases the
+    distance by exactly one and every monotone path is minimal in the
+    degraded fabric.
+    """
+    outgoing: dict[int, list[int]] = {}
+    for u, v in topology.link_keys():
+        if topology.distance(v, dst) < topology.distance(u, dst):
+            outgoing.setdefault(u, []).append(v)
+    return outgoing
+
+
 def least_loaded_quadrant_path(
     topology: NoCTopology,
     src: int,
@@ -46,6 +96,10 @@ def least_loaded_quadrant_path(
 
     Returns:
         A minimum-hop node path whose total accumulated load is minimal.
+        On fault-degraded topologies, "minimum hop" means the surviving
+        (BFS) hop distance, and the search widens from the quadrant to the
+        full monotone DAG when a failed link leaves the quadrant without a
+        monotone route.
     """
     if src == dst:
         raise RoutingError("no path needed between a node and itself")
@@ -61,24 +115,17 @@ def least_loaded_quadrant_path(
         for u, v in allowed:
             outgoing.setdefault(u, []).append(v)
 
-    # Dijkstra with (total weight, path) entries; ties broken by node ids
-    # via the path tuple, which keeps results deterministic.
-    best: dict[int, float] = {src: 0.0}
-    heap: list[tuple[float, tuple[int, ...]]] = [(0.0, (src,))]
-    while heap:
-        weight, path = heapq.heappop(heap)
-        node = path[-1]
-        if node == dst:
-            return list(path)
-        if weight > best.get(node, float("inf")):
-            continue
-        for nxt in outgoing.get(node, []):
-            step = base_weight + link_loads.get((node, nxt), 0.0)
-            candidate = weight + step
-            if candidate < best.get(nxt, float("inf")):
-                best[nxt] = candidate
-                heapq.heappush(heap, (candidate, path + (nxt,)))
-    raise RoutingError(f"quadrant graph between {src} and {dst} is disconnected")
+    path = _dijkstra(outgoing, src, dst, link_loads, base_weight)
+    if path is None and topology.is_degraded:
+        # Pristine topologies never take this branch (their quadrant always
+        # routes), so legacy behavior is bit-identical.
+        path = _dijkstra(
+            _degraded_monotone_outgoing(topology, dst),
+            src, dst, link_loads, base_weight,
+        )
+    if path is None:
+        raise RoutingError(f"quadrant graph between {src} and {dst} is disconnected")
+    return path
 
 
 def min_path_routing(

@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
+
 
 class FlitKind(enum.Enum):
     """Wormhole flit roles: the head allocates, the tail releases."""
@@ -50,14 +52,14 @@ class Packet:
     def latency(self) -> int:
         """Creation-to-delivery latency in cycles (queueing included)."""
         if self.delivered_cycle is None:
-            raise ValueError(f"packet {self.packet_id} not delivered yet")
+            raise SimulationError(f"packet {self.packet_id} not delivered yet")
         return self.delivered_cycle - self.created_cycle
 
     @property
     def network_latency(self) -> int:
         """Injection-to-delivery latency (excludes NI queueing)."""
         if self.delivered_cycle is None or self.injected_cycle is None:
-            raise ValueError(f"packet {self.packet_id} still in flight")
+            raise SimulationError(f"packet {self.packet_id} still in flight")
         return self.delivered_cycle - self.injected_cycle
 
 

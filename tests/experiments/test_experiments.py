@@ -47,7 +47,7 @@ class TestCommon:
         table = ExperimentTable("T", ["k", "v"], [["a", 1], ["b", 2]])
         assert table.column("v") == [1, 2]
         assert table.row_by_key("b") == ["b", 2]
-        with pytest.raises(KeyError):
+        with pytest.raises(ReproError):
             table.row_by_key("zzz")
 
 
@@ -101,7 +101,7 @@ class TestRunner:
     def test_known_names(self):
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "table1", "table2", "fig5c", "table3", "ilp-gap",
-            "topology", "latency-sweep",
+            "topology", "latency-sweep", "resilience",
         }
 
     def test_unknown_rejected(self):
@@ -111,3 +111,23 @@ class TestRunner:
     def test_run_experiment_dispatch(self):
         table = run_experiment("table3")
         assert "Table 3" in table.title
+
+
+class TestResilienceSweep:
+    def test_small_sweep_degrades_gracefully(self):
+        from repro.api import ErrorResponse  # noqa: F401 — contract under test
+        from repro.experiments.resilience_sweep import run_resilience_sweep
+
+        table = run_resilience_sweep(
+            max_failed_links=1, seeds=(1, 2), measure_cycles=500
+        )
+        assert table.headers[:3] == ["failed_links", "scenarios", "failed_slots"]
+        assert [row[0] for row in table.rows] == [0, 1]
+        baseline = table.row_by_key(0)
+        assert baseline[1] == 1      # single pristine scenario
+        assert baseline[2] == 0      # which cannot fail
+        faulted = table.row_by_key(1)
+        assert faulted[1] == 2       # one scenario per seed
+        # the pristine fabric's remap cost is a lower bound for the ensemble
+        if faulted[3] != "-":
+            assert faulted[3] >= baseline[3]

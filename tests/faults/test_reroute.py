@@ -1,0 +1,110 @@
+"""Tests for fault-tolerant rerouting (:mod:`repro.faults.reroute`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.reroute import (
+    check_commodities_connected,
+    fault_reroute,
+    verify_deadlock_free,
+)
+from repro.faults.spec import FaultSpec
+from repro.graphs.commodities import Commodity
+from repro.graphs.topology import NoCTopology
+from repro.routing.base import RoutingResult
+from repro.routing.min_path import min_path_routing
+
+
+def _commodity(index, src, dst, value=10.0):
+    return Commodity(index, f"s{index}", f"d{index}", src, dst, value)
+
+
+def _assert_paths_avoid(routing, failed_pairs):
+    banned = {(a, b) for a, b in failed_pairs} | {(b, a) for a, b in failed_pairs}
+    for path in routing.paths.values():
+        hops = set(zip(path, path[1:]))
+        assert not (hops & banned), f"path {path} crosses a failed link"
+
+
+class TestFaultReroute:
+    def test_avoids_failed_links_on_mesh(self, mesh4x4):
+        failed = ((1, 2), (5, 6))
+        degraded = FaultSpec(failed_links=failed).apply(mesh4x4)
+        commodities = [_commodity(0, 0, 3), _commodity(1, 4, 7), _commodity(2, 3, 0)]
+        routing = fault_reroute(degraded, commodities)
+        assert routing.algorithm == "fault-reroute"
+        _assert_paths_avoid(routing, failed)
+
+    def test_avoids_failed_router_on_torus(self, torus3x3):
+        degraded = FaultSpec(failed_routers=(4,)).apply(torus3x3)
+        commodities = [
+            _commodity(0, 0, 8), _commodity(1, 3, 5), _commodity(2, 1, 7),
+        ]
+        routing = fault_reroute(degraded, commodities)
+        for path in routing.paths.values():
+            assert 4 not in path
+
+    def test_paths_are_minimal_on_the_degraded_metric(self, mesh4x4):
+        degraded = FaultSpec(failed_links=((1, 2),)).apply(mesh4x4)
+        commodities = [_commodity(i, src, dst) for i, (src, dst) in enumerate(
+            [(0, 3), (1, 2), (12, 15), (0, 15)]
+        )]
+        routing = fault_reroute(degraded, commodities)
+        for commodity in commodities:
+            path = routing.paths[commodity.index]
+            assert len(path) - 1 == degraded.distance(
+                commodity.src_node, commodity.dst_node
+            )
+
+    def test_pristine_topology_matches_min_path(self, mesh4x4):
+        commodities = [_commodity(0, 0, 15), _commodity(1, 12, 3)]
+        rerouted = fault_reroute(mesh4x4, commodities)
+        baseline = min_path_routing(mesh4x4, commodities)
+        assert rerouted.paths == baseline.paths
+
+    def test_disconnected_commodity_named(self, mesh2x2):
+        # Cutting both of node 0's links strands it entirely.
+        degraded = FaultSpec(failed_links=((0, 1), (0, 2))).apply(mesh2x2)
+        with pytest.raises(FaultError, match=r"commodity 1 \(0->3\)"):
+            fault_reroute(degraded, [_commodity(0, 1, 2), _commodity(1, 0, 3)])
+
+    def test_check_connected_accepts_surviving_pairs(self, mesh4x4):
+        degraded = FaultSpec(failed_links=((0, 1),)).apply(mesh4x4)
+        check_commodities_connected(degraded, [_commodity(0, 0, 1)])
+
+
+class TestVerifyDeadlockFree:
+    def test_constructed_cycle_raises(self, mesh2x2):
+        commodities = [
+            _commodity(0, 0, 3), _commodity(1, 1, 2),
+            _commodity(2, 3, 0), _commodity(3, 2, 1),
+        ]
+        paths = {0: [0, 1, 3], 1: [1, 3, 2], 2: [3, 2, 0], 3: [2, 0, 1]}
+        routing = RoutingResult.from_paths(mesh2x2, commodities, paths, "ring")
+        with pytest.raises(FaultError, match="channel-dependency cycle"):
+            verify_deadlock_free(routing)
+
+    def test_acyclic_routing_passes(self, mesh4x4):
+        routing = min_path_routing(mesh4x4, [_commodity(0, 0, 15)])
+        verify_deadlock_free(routing)
+
+    @pytest.mark.parametrize("spec", [
+        FaultSpec(failed_links=((1, 2), (9, 10))),
+        FaultSpec(failed_routers=(5,)),
+        FaultSpec(random_link_failures=2, fault_seed=4),
+    ])
+    def test_rerouted_app_traffic_stays_deadlock_free(self, spec):
+        """fault_reroute's re-check passes for realistic surviving traffic."""
+        from repro.graphs.commodities import build_commodities
+        from repro.graphs.random_graphs import random_core_graph
+        from repro.mapping.nmap import nmap_single_path
+
+        app = random_core_graph(12, seed=3)
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=app.total_bandwidth())
+        degraded = spec.apply(mesh)
+        mapping = nmap_single_path(app, degraded).mapping
+        commodities = build_commodities(app, mapping)
+        routing = fault_reroute(degraded, commodities)
+        verify_deadlock_free(routing)  # idempotent, must not raise

@@ -1,0 +1,124 @@
+"""Tests for the resilience mapping objective (:mod:`repro.faults.resilience`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import vopd
+from repro.api import MapRequest, NmapOptions, AnnealingOptions, TopologySpec, run
+from repro.errors import ApiError, MappingError
+from repro.faults.resilience import (
+    expected_fault_cost,
+    resilience_distance_sum,
+    resilience_view,
+    single_link_failure_ensemble,
+    undirected_links,
+)
+from repro.graphs.topology import NoCTopology
+from repro.mapping.annealing import annealing_mapping
+from repro.mapping.base import Mapping
+from repro.mapping.nmap import nmap_single_path
+from repro.metrics.comm_cost import comm_cost
+
+
+class TestEnsemble:
+    def test_one_scenario_per_undirected_link(self, mesh4x4):
+        links = undirected_links(mesh4x4)
+        ensemble = single_link_failure_ensemble(mesh4x4)
+        assert len(ensemble) == len(links) == mesh4x4.num_links // 2
+        for view, link in zip(ensemble, links):
+            assert view.is_degraded
+            assert not view.has_link(*link)
+
+    def test_distance_sum_is_exact_int64(self, mesh3x3):
+        total, size = resilience_distance_sum(mesh3x3)
+        assert total.dtype == np.int64
+        assert size == mesh3x3.num_links // 2
+        # each scenario's distances dominate the pristine ones
+        assert (total >= size * mesh3x3.distance_matrix()).all()
+
+    def test_view_prices_whole_ensemble(self, mesh3x3, tiny_graph):
+        view, size = resilience_view(mesh3x3)
+        placement = {"a": 0, "b": 1, "c": 2}
+        on_view = comm_cost(Mapping(tiny_graph, view, placement))
+        by_hand = sum(
+            comm_cost(Mapping(tiny_graph, scenario, placement))
+            for scenario in single_link_failure_ensemble(mesh3x3)
+        )
+        assert on_view == by_hand
+        assert expected_fault_cost(
+            Mapping(tiny_graph, mesh3x3, placement)
+        ) == pytest.approx(on_view / size)
+
+
+class TestNmapResilience:
+    def test_stats_report_the_objective(self):
+        app = vopd()
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=app.total_bandwidth())
+        result = nmap_single_path(app, mesh, objective="resilience")
+        assert result.stats["objective"] == "resilience"
+        expected = result.stats["expected_fault_cost"]
+        assert expected == pytest.approx(expected_fault_cost(result.mapping))
+        # the reported comm cost is the pristine Equation-7 cost
+        assert result.mapping.topology is mesh
+        assert comm_cost(result.mapping) == result.comm_cost
+
+    def test_tight_bandwidth_rejected(self):
+        app = vopd()
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=100.0)
+        with pytest.raises(MappingError, match="pure-cost regime"):
+            nmap_single_path(app, mesh, objective="resilience")
+
+    def test_default_objective_unchanged(self):
+        app = vopd()
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=app.total_bandwidth())
+        result = nmap_single_path(app, mesh)
+        assert "expected_fault_cost" not in result.stats
+
+
+class TestAnnealingResilience:
+    def test_run_completes_with_stats(self, square_graph):
+        mesh = NoCTopology.mesh(2, 2, link_bandwidth=1000.0)
+        result = annealing_mapping(
+            square_graph, mesh, seed=3, objective="resilience"
+        )
+        assert result.stats["objective"] == "resilience"
+        assert result.stats["expected_fault_cost"] == pytest.approx(
+            expected_fault_cost(result.mapping)
+        )
+        assert result.mapping.topology is mesh
+
+
+class TestApiSurface:
+    def test_bogus_objective_rejected(self):
+        with pytest.raises(ApiError, match="objective"):
+            NmapOptions(objective="bogus").validate()
+        with pytest.raises(ApiError, match="objective"):
+            AnnealingOptions(objective="bogus").validate()
+        with pytest.raises(ApiError, match="objective"):
+            run(
+                MapRequest(
+                    app="pip",
+                    mapper="nmap",
+                    options=NmapOptions(objective="bogus"),
+                    price_bandwidth=False,
+                )
+            )
+
+    def test_map_request_with_resilience_objective(self):
+        app = vopd()
+        response = run(
+            MapRequest(
+                app="vopd",
+                mapper="nmap",
+                topology=TopologySpec.parse(
+                    "mesh:4x4", link_bandwidth=app.total_bandwidth()
+                ),
+                options=NmapOptions(objective="resilience"),
+                price_bandwidth=False,
+            )
+        )
+        assert response.stats["objective"] == "resilience"
+        assert response.stats["expected_fault_cost"] > 0
+        assert response.feasible

@@ -1,0 +1,230 @@
+"""Unit tests for :class:`repro.faults.spec.FaultSpec`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ApiError, FaultError
+from repro.faults.spec import FaultSpec
+from repro.graphs.topology import UNREACHABLE, NoCTopology
+
+
+class TestConstruction:
+    def test_pairs_canonicalized_and_deduplicated(self):
+        spec = FaultSpec(failed_links=((4, 3), (3, 4), (0, 1)))
+        assert spec.failed_links == ((0, 1), (3, 4))
+
+    def test_routers_sorted_and_deduplicated(self):
+        spec = FaultSpec(failed_routers=(5, 2, 5))
+        assert spec.failed_routers == (2, 5)
+
+    def test_degraded_links_canonicalized(self):
+        spec = FaultSpec(degraded_links=((4, 3, 0.5), (3, 4, 0.5)))
+        assert spec.degraded_links == ((3, 4, 0.5),)
+
+    def test_empty_spec_is_empty(self):
+        assert FaultSpec().is_empty
+        assert not FaultSpec(failed_links=((0, 1),)).is_empty
+        assert not FaultSpec(random_link_failures=2).is_empty
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ApiError, match="itself"):
+            FaultSpec(failed_links=((3, 3),))
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ApiError, match="non-negative"):
+            FaultSpec(failed_links=((-1, 2),))
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ApiError, match="pair"):
+            FaultSpec(failed_links=(3,))
+
+    def test_bool_is_not_a_node(self):
+        with pytest.raises(ApiError):
+            FaultSpec(failed_routers=(True,))
+
+    def test_degrade_factor_out_of_range(self):
+        with pytest.raises(ApiError, match=r"\(0, 1\)"):
+            FaultSpec(degraded_links=((0, 1, 1.5),))
+        with pytest.raises(ApiError, match=r"\(0, 1\)"):
+            FaultSpec(degraded_links=((0, 1, 0.0),))
+
+    def test_conflicting_degrade_factors_rejected(self):
+        with pytest.raises(ApiError, match="different factors"):
+            FaultSpec(degraded_links=((0, 1, 0.5), (1, 0, 0.25)))
+
+    def test_failed_and_degraded_overlap_rejected(self):
+        with pytest.raises(ApiError, match="both failed and degraded"):
+            FaultSpec(failed_links=((0, 1),), degraded_links=((1, 0, 0.5),))
+
+    def test_negative_random_failures_rejected(self):
+        with pytest.raises(ApiError, match="random_link_failures"):
+            FaultSpec(random_link_failures=-1)
+
+    def test_describe_mentions_every_component(self):
+        spec = FaultSpec(
+            failed_links=((0, 1),),
+            failed_routers=(5,),
+            degraded_links=((2, 3, 0.5),),
+            random_link_failures=2,
+            fault_seed=7,
+        )
+        text = spec.describe()
+        assert "0-1" in text
+        assert "5" in text
+        assert "2-3x0.5" in text
+        assert "seed 7" in text
+        assert FaultSpec().describe() == "no faults"
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = FaultSpec(
+            failed_links=((1, 2),),
+            failed_routers=(7,),
+            degraded_links=((3, 4, 0.25),),
+            random_link_failures=1,
+            fault_seed=42,
+        )
+        rebuilt = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ApiError, match="unknown fault field"):
+            FaultSpec.from_dict({"failed_wires": [[0, 1]]})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ApiError, match="dict"):
+            FaultSpec.from_dict([0, 1])
+
+    def test_missing_fields_default_to_empty(self):
+        assert FaultSpec.from_dict({}) == FaultSpec()
+
+
+class TestResolve:
+    def test_resolution_is_deterministic(self, mesh4x4):
+        spec = FaultSpec(random_link_failures=3, fault_seed=9)
+        first = spec.resolve(mesh4x4)
+        second = spec.resolve(mesh4x4)
+        assert first == second
+        assert first.random_link_failures == 0
+        assert len(first.failed_links) == 3
+
+    def test_different_seeds_differ(self, mesh4x4):
+        draws = {
+            FaultSpec(random_link_failures=2, fault_seed=s).resolve(mesh4x4).failed_links
+            for s in range(8)
+        }
+        assert len(draws) > 1
+
+    def test_candidates_exclude_existing_faults(self, mesh4x4):
+        spec = FaultSpec(
+            failed_links=((0, 1),),
+            failed_routers=(5,),
+            degraded_links=((2, 3, 0.5),),
+            random_link_failures=4,
+            fault_seed=1,
+        )
+        resolved = spec.resolve(mesh4x4)
+        drawn = set(resolved.failed_links) - {(0, 1)}
+        assert (2, 3) not in drawn
+        for a, b in drawn:
+            assert 5 not in (a, b)
+
+    def test_too_many_failures_raise(self, mesh2x2):
+        with pytest.raises(FaultError, match="candidate links"):
+            FaultSpec(random_link_failures=5).resolve(mesh2x2)
+
+    def test_no_random_component_is_identity(self, mesh4x4):
+        spec = FaultSpec(failed_links=((0, 1),))
+        assert spec.resolve(mesh4x4) is spec
+
+
+class TestApply:
+    def test_empty_spec_returns_same_topology(self, mesh4x4):
+        assert FaultSpec().apply(mesh4x4) is mesh4x4
+
+    def test_failed_link_removed_both_directions(self, mesh4x4):
+        degraded = FaultSpec(failed_links=((1, 2),)).apply(mesh4x4)
+        assert degraded.is_degraded
+        assert not degraded.has_link(1, 2)
+        assert not degraded.has_link(2, 1)
+        assert mesh4x4.has_link(1, 2)  # the pristine view is untouched
+
+    def test_failed_link_forces_detour_distances(self, mesh4x4):
+        degraded = FaultSpec(failed_links=((0, 1),)).apply(mesh4x4)
+        # 0 and 1 are adjacent in the mesh; with the link gone the shortest
+        # surviving route is 0 -> 4 -> 5 -> 1.
+        assert mesh4x4.distance(0, 1) == 1
+        assert degraded.distance(0, 1) == 3
+
+    def test_failed_router_isolated(self, mesh4x4):
+        degraded = FaultSpec(failed_routers=(5,)).apply(mesh4x4)
+        assert 5 not in degraded.healthy_nodes()
+        for neighbor in (1, 4, 6, 9):
+            assert not degraded.has_link(5, neighbor)
+            assert not degraded.has_link(neighbor, 5)
+        assert degraded.distance(5, 0) >= UNREACHABLE
+
+    def test_degraded_link_scales_bandwidth_both_directions(self, mesh4x4):
+        base = mesh4x4.link_bandwidth(1, 2)
+        degraded = FaultSpec(degraded_links=((1, 2, 0.25),)).apply(mesh4x4)
+        assert degraded.link_bandwidth(1, 2) == pytest.approx(base * 0.25)
+        assert degraded.link_bandwidth(2, 1) == pytest.approx(base * 0.25)
+        assert mesh4x4.link_bandwidth(1, 2) == base
+
+    def test_unknown_link_raises(self, mesh4x4):
+        # nodes 3 and 4 sit on different rows of the row-major 4x4 mesh
+        with pytest.raises(FaultError, match="no link between 3 and 4"):
+            FaultSpec(failed_links=((3, 4),)).apply(mesh4x4)
+
+    def test_unknown_router_raises(self, mesh4x4):
+        with pytest.raises(FaultError, match="outside"):
+            FaultSpec(failed_routers=(99,)).apply(mesh4x4)
+
+    def test_degrading_a_router_killed_link_raises(self, mesh4x4):
+        spec = FaultSpec(failed_routers=(5,), degraded_links=((5, 6, 0.5),))
+        with pytest.raises(FaultError, match="failed in this scenario"):
+            spec.apply(mesh4x4)
+
+    def test_router_failure_subsumes_link_failure(self, mesh4x4):
+        """A link listed explicitly and killed by a router failure is fine."""
+        degraded = FaultSpec(
+            failed_routers=(5,), failed_links=((5, 6),)
+        ).apply(mesh4x4)
+        assert degraded.is_degraded
+        assert not degraded.has_link(5, 6)
+
+    def test_apply_resolves_random_failures(self, mesh4x4):
+        spec = FaultSpec(random_link_failures=2, fault_seed=3)
+        degraded = spec.apply(mesh4x4)
+        resolved = spec.resolve(mesh4x4)
+        for a, b in resolved.failed_links:
+            assert not degraded.has_link(a, b)
+        assert degraded.num_links == mesh4x4.num_links - 4
+
+    def test_torus_wrap_links_can_fail(self, torus3x3):
+        degraded = FaultSpec(failed_links=((0, 2),)).apply(torus3x3)
+        assert not degraded.has_link(0, 2)
+        assert degraded.distance(0, 2) == 2
+
+
+class TestCliParsing:
+    def test_parse_link(self):
+        assert FaultSpec.parse_link("3-4") == (3, 4)
+        assert FaultSpec.parse_link(" 7-2 ") == (2, 7)
+
+    @pytest.mark.parametrize("text", ["34", "3-", "-4", "a-b", "3:4"])
+    def test_parse_link_rejects_malformed(self, text):
+        with pytest.raises(ApiError, match="3-4"):
+            FaultSpec.parse_link(text)
+
+    def test_parse_degraded(self):
+        assert FaultSpec.parse_degraded("3-4:0.5") == (3, 4, 0.5)
+
+    @pytest.mark.parametrize("text", ["3-4", "3-4:", "3-4:x"])
+    def test_parse_degraded_rejects_malformed(self, text):
+        with pytest.raises(ApiError):
+            FaultSpec.parse_degraded(text)

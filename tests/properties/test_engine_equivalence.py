@@ -369,3 +369,84 @@ class TestAutoEngineEquivalence:
             return Simulator(network, engine=name).run()
 
         assert_reports_identical(run("auto"), run("cycle"))
+
+
+class TestFaultScenarioEquivalence:
+    """Fault-injected scenarios run bit-identically on every engine.
+
+    The fault subsystem only changes *inputs* — a masked topology and
+    rerouted paths — so the engine-equivalence contract must carry over
+    unchanged: identical reports, and identical flit traces, for traffic
+    detouring around failed links and routers.
+    """
+
+    @staticmethod
+    def _fault_setup(topology, spec, seed):
+        from repro.faults import fault_reroute
+        from repro.faults.spec import FaultSpec
+
+        app = random_core_graph(12, seed=5)
+        fabric = topology.with_uniform_bandwidth(app.total_bandwidth())
+        degraded = FaultSpec(**spec).apply(fabric)
+        mapping = nmap_single_path(app, degraded).mapping
+        commodities = build_commodities(app, mapping)
+        routing = fault_reroute(degraded, commodities)
+        config = SimConfig(
+            warmup_cycles=300,
+            measure_cycles=3_000,
+            drain_cycles=500,
+            seed=seed,
+            mean_burst_packets=2.0,
+        )
+        return degraded, commodities, routing, config
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("spec", [
+        {"failed_links": ((1, 2),)},
+        {"failed_links": ((1, 2), (9, 13)), "degraded_links": ((5, 6, 0.5),)},
+    ])
+    def test_failed_links_on_mesh(self, engine, spec):
+        degraded, commodities, routing, config = self._fault_setup(
+            NoCTopology.mesh(4, 4), spec, seed=17
+        )
+
+        def run(name):
+            network = build_network(
+                degraded, commodities, routing, config, bandwidth_scale=0.3
+            )
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run(engine), run("cycle"))
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_failed_router_on_torus(self, engine):
+        degraded, commodities, routing, config = self._fault_setup(
+            NoCTopology.torus_grid(4, 4), {"failed_routers": (5,)}, seed=23
+        )
+
+        def run(name):
+            network = build_network(
+                degraded, commodities, routing, config, bandwidth_scale=0.3
+            )
+            return Simulator(network, engine=name).run()
+
+        assert_reports_identical(run(engine), run("cycle"))
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_fault_flit_traces_identical(self, engine):
+        """Not just aggregates: the rerouted flit movements match exactly."""
+        degraded, commodities, routing, config = self._fault_setup(
+            NoCTopology.mesh(4, 4),
+            {"failed_links": ((1, 2),), "failed_routers": (12,)},
+            seed=29,
+        )
+
+        def run(name):
+            network = build_network(
+                degraded, commodities, routing, config, bandwidth_scale=0.4
+            )
+            recorder = TraceRecorder(max_events=10**6)
+            Simulator(network, trace=recorder, engine=name).run()
+            return recorder.events
+
+        assert run(engine) == run("cycle")

@@ -90,6 +90,56 @@ class TestCycleDetection:
         assert find_cycle(routing) is None
 
 
+class TestFaultReroutedPaths:
+    """Deadlock analysis over fault-rerouted path sets (satellite of the
+    fault-injection subsystem: the CDG audit is mandatory for detours)."""
+
+    def _surviving_routing(self, topology, spec):
+        from repro.faults.reroute import fault_reroute
+        from repro.faults.spec import FaultSpec
+        from repro.graphs.random_graphs import random_core_graph
+        from repro.mapping import nmap_single_path
+
+        app = random_core_graph(12, seed=7)
+        fabric = topology.with_uniform_bandwidth(app.total_bandwidth())
+        degraded = FaultSpec(**spec).apply(fabric)
+        mapping = nmap_single_path(app, degraded).mapping
+        commodities = build_commodities(app, mapping)
+        return fault_reroute(degraded, commodities)
+
+    def test_degraded_mesh_paths_acyclic(self, mesh4x4):
+        routing = self._surviving_routing(
+            mesh4x4, {"failed_links": ((1, 2), (9, 13))}
+        )
+        assert find_cycle(routing) is None
+        assert is_deadlock_free(routing)
+
+    def test_degraded_torus_paths_acyclic(self):
+        from repro.graphs.topology import NoCTopology
+
+        torus = NoCTopology.torus_grid(4, 4)
+        routing = self._surviving_routing(torus, {"failed_routers": (5,)})
+        assert find_cycle(routing) is None
+        assert is_deadlock_free(routing)
+
+    def test_constructed_cycle_rejected_as_fault(self, mesh2x2):
+        """A hand-built ring must be found and typed as a FaultError."""
+        from repro.errors import FaultError
+        from repro.faults.reroute import verify_deadlock_free
+
+        commodities = [
+            _commodity(0, 0, 3), _commodity(1, 1, 2),
+            _commodity(2, 3, 0), _commodity(3, 2, 1),
+        ]
+        paths = {0: [0, 1, 3], 1: [1, 3, 2], 2: [3, 2, 0], 3: [2, 0, 1]}
+        routing = RoutingResult.from_paths(mesh2x2, commodities, paths, "ring")
+        cycle = find_cycle(routing)
+        assert cycle is not None
+        assert set(cycle) == {(0, 1), (1, 3), (3, 2), (2, 0)}
+        with pytest.raises(FaultError, match="channel-dependency cycle"):
+            verify_deadlock_free(routing)
+
+
 class TestSplitRoutingAudit:
     def test_split_flows_analyzable(self, mesh3x3):
         commodities = [_commodity(0, 0, 4, 900.0), _commodity(1, 2, 6, 700.0)]

@@ -84,7 +84,7 @@ class TestFlits:
 
     def test_latency_requires_delivery(self):
         packet = _packet()
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             _ = packet.latency
         packet.delivered_cycle = 10
         assert packet.latency == 10
