@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-properties bench-smoke bench smoke fault-smoke
+.PHONY: check test test-properties bench-smoke bench smoke fault-smoke serve-smoke
 
 # What CI runs on every push: the equivalence property suite first (its own
 # stage, so an engine or fastpath-vs-scalar divergence fails loudly and
@@ -11,7 +11,7 @@ export PYTHONPATH := src
 # run_bench.py); --enforce-floors applies the per-kernel FLOORS on top —
 # together they catch order-of-magnitude regressions without flaking on
 # loaded runners.
-check: test-properties test bench-smoke smoke fault-smoke
+check: test-properties test bench-smoke smoke fault-smoke serve-smoke
 
 # tests/properties is excluded here only because `check` already ran it in
 # its own stage; run `pytest -x -q` bare for the complete tier-1 sweep.
@@ -50,6 +50,15 @@ fault-smoke:
 	$(PYTHON) -m repro.cli simulate --app vopd --topology torus:4x4 \
 		--fail-link 5-6 --degrade-link 9-10:0.5 --cycles 2000
 	$(PYTHON) examples/fault_tolerance.py
+
+# Service smoke: a real `repro serve` subprocess (ephemeral port, on-disk
+# store, process executor) driven over HTTP — the in-flight dedup contract
+# (duplicate pair executes once, byte-identical bodies), warm and
+# cold-restart store hits, ordered event streaming and a clean SIGTERM
+# drain — plus the in-process quickstart example.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) examples/service_quickstart.py
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""CI smoke for the job service: a real server process, end to end.
+
+Boots ``repro serve`` as a subprocess (ephemeral port, on-disk store,
+``executor=process`` — the production configuration), then proves the
+contracts the service ships on:
+
+* health and mapper introspection answer;
+* a mapping served over HTTP matches the local ``run_map`` exactly;
+* two concurrent identical submissions execute the underlying request
+  once and both read byte-identical result bodies (in-flight dedup);
+* a resubmission after that is a store hit with the same bytes (warm);
+* a fresh server process on the same store serves the same bytes without
+  executing anything (cold start, persistent tier);
+* a streamed sweep delivers every slot in order;
+* SIGTERM drains cleanly — exit code 0, no dropped work.
+
+Exits non-zero on the first violated contract.  Run via ``make
+serve-smoke``; wired into ``make check``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.api import MapRequest, SimOptions, SimRequest, run_map  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+ANNOUNCE = re.compile(r"listening on http://[\d.]+:(\d+)")
+
+
+def boot(store: str) -> tuple[subprocess.Popen, ServiceClient]:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--store", store, "--executor", "process",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before announcing (rc={proc.wait()})"
+            )
+        match = ANNOUNCE.search(line)
+        if match:
+            return proc, ServiceClient(
+                f"http://127.0.0.1:{match.group(1)}", timeout=120.0
+            )
+    proc.kill()
+    raise SystemExit("server did not announce a port within 60 s")
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve-smoke FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+def main() -> None:
+    map_request = MapRequest(app="vopd", price_bandwidth=False)
+    sim_request = SimRequest(
+        map_request=map_request,
+        measure_cycles=400,
+        warmup_cycles=100,
+        drain_cycles=200,
+        options=SimOptions(traffic="uniform", injection_rate=0.05, engine="event"),
+    )
+
+    with tempfile.TemporaryDirectory() as store:
+        print("== cold server ==")
+        proc, client = boot(store)
+        try:
+            check(client.health()["status"] == "ok", "health answers ok")
+            check(
+                any(m["name"] == "nmap" for m in client.mappers()),
+                "mapper registry served",
+            )
+            check(
+                client.map(map_request).to_dict()
+                == run_map(map_request).to_dict(),
+                "HTTP mapping matches local run_map",
+            )
+
+            # In-flight dedup: two identical submissions racing.
+            before = client.health()["store"]["executed"]
+            tickets: list = [None, None]
+
+            def submit(slot: int) -> None:
+                tickets[slot] = client.submit(sim_request)
+
+            threads = [
+                threading.Thread(target=submit, args=(slot,)) for slot in (0, 1)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            bodies = set()
+            for ticket in tickets:
+                client.wait(ticket.id, timeout=300)
+                bodies.add(client.result_raw(ticket.id))
+            executed = client.health()["store"]["executed"] - before
+            check(executed == 1, f"duplicate pair executed once (got {executed})")
+            check(len(bodies) == 1, "duplicate pair bodies byte-identical")
+            warm_bytes = bodies.pop()
+
+            # Warm resubmission: store hit, same bytes.
+            ticket = client.submit(sim_request)
+            client.wait(ticket.id, timeout=300)
+            check(
+                client.result_raw(ticket.id) == warm_bytes,
+                "warm resubmission byte-identical",
+            )
+            check(
+                client.status(ticket.id)["slots"][0]["cached"] is True,
+                "warm resubmission flagged cached",
+            )
+
+            # Streamed sweep arrives in order.
+            sweep = [
+                SimRequest(
+                    map_request=map_request,
+                    measure_cycles=400,
+                    warmup_cycles=100,
+                    drain_cycles=200,
+                    options=SimOptions(
+                        traffic="uniform", injection_rate=rate, engine="event"
+                    ),
+                )
+                for rate in (0.02, 0.08)
+            ]
+            events = list(client.stream(client.submit(sweep).id))
+            check(
+                [event.index for event in events] == [0, 1],
+                "sweep streamed in slot order",
+            )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=120)
+        check(rc == 0, f"SIGTERM drains to exit 0 (got {rc})")
+
+        print("== fresh server, same store ==")
+        proc, client = boot(store)
+        try:
+            before = client.health()["store"]["executed"]
+            ticket = client.submit(sim_request)
+            client.wait(ticket.id, timeout=300)
+            check(
+                client.result_raw(ticket.id) == warm_bytes,
+                "cold restart serves byte-identical body from disk",
+            )
+            check(
+                client.health()["store"]["executed"] == before,
+                "cold restart executed nothing",
+            )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=120)
+        check(rc == 0, f"second SIGTERM drains to exit 0 (got {rc})")
+
+    print("serve-smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,8 @@ Quick tour::
 
 from repro.api.engine import (
     BATCH_EXECUTORS,
+    canonical_request_blob,
+    canonical_request_key,
     clear_request_caches,
     execute_map,
     rebuild_mapping,
@@ -81,6 +83,8 @@ __all__ = [
     "SimRequest",
     "SimResponse",
     "TopologySpec",
+    "canonical_request_blob",
+    "canonical_request_key",
     "clear_request_caches",
     "execute_map",
     "get_mapper",

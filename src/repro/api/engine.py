@@ -20,6 +20,7 @@ recomputing one.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -127,40 +128,100 @@ def run_map(request: MapRequest) -> MapResponse:
 
 
 # ----------------------------------------------------------------------
+# canonical request keying (shared by every request-content cache)
+# ----------------------------------------------------------------------
+def canonical_request_blob(request: MapRequest | SimRequest) -> str:
+    """The canonical serialized form of a request.
+
+    Sorted keys, no whitespace: the one string representation every
+    request-content cache keys on — this module's per-process map/routing
+    caches and the service's on-disk result store
+    (:class:`repro.service.store.ResultStore`) — so the in-memory and
+    persistent tiers can never disagree about what "the same request"
+    means.  Requests are frozen and ``to_dict`` is total, so the blob is a
+    pure function of the payload.
+    """
+    if not isinstance(request, (MapRequest, SimRequest)):
+        raise ApiError(
+            f"cannot compute a request key for a {type(request).__name__}"
+        )
+    return json.dumps(request.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_request_key(request: MapRequest | SimRequest) -> str:
+    """SHA-256 hex digest of :func:`canonical_request_blob`.
+
+    This is the content address of a request: equal requests hash equal
+    regardless of how they were constructed (Python, JSON, over the wire),
+    and the key is stable across processes and sessions — golden values are
+    pinned in ``tests/api/test_canonical_key.py``.  Keys are only
+    comparable within one ``SCHEMA_VERSION`` (the blob embeds it), which is
+    what lets the persistent store namespace entries by schema.
+    """
+    return hashlib.sha256(canonical_request_blob(request).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # per-process request caches (sweep reuse)
 # ----------------------------------------------------------------------
 #: Bound on each cache; a sweep touches one mapping, experiments a handful.
 _CACHE_LIMIT = 64
-_cache_lock = threading.Lock()
-_map_cache: "OrderedDict[str, tuple[NoCTopology, MappingResult]]" = OrderedDict()
-_routing_cache: "OrderedDict[tuple[str, str], object]" = OrderedDict()
 
 
-def _map_cache_key(request: MapRequest) -> str:
-    """Canonical cache key: the request's own serialized payload."""
-    return json.dumps(request.to_dict(), sort_keys=True)
+class _SyncedLRUCache:
+    """A bounded LRU mapping guarded by its own lock.
+
+    The service submits concurrently from several worker threads while
+    tests and long-lived deployments may call :func:`clear_request_caches`
+    at any moment — every dict operation (lookup + recency bump, insert +
+    eviction, clear) happens atomically under the lock so a clear can never
+    race a half-finished update.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            while len(self._data) > self._limit:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+_map_cache = _SyncedLRUCache(_CACHE_LIMIT)
+_routing_cache = _SyncedLRUCache(_CACHE_LIMIT)
+
+#: The in-memory tiers key on the same canonical content address as the
+#: service's persistent store (one keying scheme end to end).
+_map_cache_key = canonical_request_key
 
 
 def clear_request_caches() -> None:
-    """Drop the mapping/routing caches (tests, long-lived services)."""
-    with _cache_lock:
-        _map_cache.clear()
-        _routing_cache.clear()
+    """Drop the mapping/routing caches (tests, long-lived services).
 
-
-def _cache_get(cache: OrderedDict, key):
-    with _cache_lock:
-        value = cache.get(key)
-        if value is not None:
-            cache.move_to_end(key)
-        return value
-
-
-def _cache_put(cache: OrderedDict, key, value) -> None:
-    with _cache_lock:
-        cache[key] = value
-        while len(cache) > _CACHE_LIMIT:
-            cache.popitem(last=False)
+    Thread-safe against concurrent submissions: a request racing the clear
+    either sees its entry (and reuses it) or recomputes — never a torn
+    cache state.
+    """
+    _map_cache.clear()
+    _routing_cache.clear()
 
 
 def _cached_execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult]:
@@ -172,10 +233,10 @@ def _cached_execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult
     are deterministic functions of the request payload.
     """
     key = _map_cache_key(request)
-    value = _cache_get(_map_cache, key)
+    value = _map_cache.get(key)
     if value is None:
         value = execute_map(request)
-        _cache_put(_map_cache, key, value)
+        _map_cache.put(key, value)
     return value
 
 
@@ -226,10 +287,10 @@ def run_sim(request: SimRequest) -> SimResponse:
                     sort_keys=True,
                 ),
             )
-            routing = _cache_get(_routing_cache, routing_key)
+            routing = _routing_cache.get(routing_key)
             if routing is None:
                 routing = fault_reroute(sim_topology, commodities)
-                _cache_put(_routing_cache, routing_key, routing)
+                _routing_cache.put(routing_key, routing)
         elif result.routing is not None and request.routing == "auto" and (
             request.map_request.mapper.startswith("nmap-t")
         ):
@@ -240,13 +301,13 @@ def run_sim(request: SimRequest) -> SimResponse:
             # Derived routing tables are pure functions of (mapping,
             # routing mode), so sweep points share one computation.
             routing_key = (_map_cache_key(request.map_request), request.routing, None)
-            routing = _cache_get(_routing_cache, routing_key)
+            routing = _routing_cache.get(routing_key)
             if routing is None:
                 if request.routing == "xy":
                     routing = xy_routing(topology, commodities)
                 else:  # "min-path" or the "auto" default
                     routing = min_path_routing(topology, commodities)
-                _cache_put(_routing_cache, routing_key, routing)
+                _routing_cache.put(routing_key, routing)
         report = simulate_mapping(
             sim_topology, commodities, routing, config, engine=options.engine
         )
@@ -404,6 +465,7 @@ def run_batch(
     executor: str = "thread",
     timeout: float | None = None,
     retries: int = 1,
+    isolate: bool = False,
 ) -> list[MapResponse | SimResponse | ErrorResponse]:
     """Run many requests concurrently; responses keep request order.
 
@@ -441,6 +503,12 @@ def run_batch(
             in the background); the serial executor detects the overrun
             after the fact.  Either way the slot reports the same payload.
         retries: extra attempts for a slot whose process worker died.
+        isolate: force pool dispatch even for singleton / single-worker
+            batches, which otherwise degrade to in-process serial
+            execution.  A long-lived embedder (the job service) sets this
+            so every ``executor="process"`` request keeps crash isolation
+            — a request that kills its worker must not kill the host.
+            No effect with ``executor="serial"``.
 
     Raises:
         ApiError: for a non-positive worker count, unknown executor,
@@ -461,7 +529,9 @@ def run_batch(
         workers = min(len(requests), os.cpu_count() or 1)
     if workers < 1:
         raise ApiError(f"workers must be >= 1, got {workers}")
-    if executor == "serial" or workers == 1 or len(requests) == 1:
+    if executor == "serial" or (
+        not isolate and (workers == 1 or len(requests) == 1)
+    ):
         return [_guarded_run(request, timeout) for request in requests]
 
     pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor

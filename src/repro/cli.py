@@ -16,6 +16,10 @@ Subcommands:
 * ``design`` — compile the mapped NoC and emit the SystemC-style netlist.
 * ``compare`` — run several algorithms on one app; optional JSON output.
 * ``experiment`` — regenerate a paper table/figure (or ``all``).
+* ``serve`` — run the async mapping/simulation job service (HTTP, with a
+  content-addressed result store); drains cleanly on SIGTERM.
+* ``submit`` — send a request (flags or JSON payload files) to a running
+  service and print the typed response(s).
 """
 
 from __future__ import annotations
@@ -288,6 +292,66 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in asyncio/socket machinery no
+    # other subcommand needs.
+    from repro.service import NocService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store_root=args.store,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        executor=args.executor,
+        timeout=args.timeout,
+    )
+    service = NocService(config)
+    service.serve_forever(install_signals=True, announce=print)
+    print("repro.service drained and stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.specs import ErrorResponse as _ErrorResponse
+    from repro.service import ServiceClient, parse_request
+
+    requests = []
+    for path in args.json or []:
+        if path == "-":
+            payload = json.load(sys.stdin)
+        else:
+            payload = json.loads(Path(path).read_text())
+        requests.append(parse_request(payload))
+    if not requests:
+        if args.app is None:
+            raise ApiError("submit needs either --json FILE(s) or --app ...")
+        requests.append(_map_request(args, faults=_fault_spec(args)))
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    ticket = client.submit(requests if len(requests) > 1 else requests[0])
+    print(f"job {ticket.id} submitted ({ticket.slots} slot(s))", file=sys.stderr)
+    if args.no_wait:
+        print(ticket.id)
+        return 0
+
+    failed = False
+    if args.stream:
+        for event in client.stream(ticket.id):
+            print(json.dumps(event.response.to_dict(), sort_keys=True))
+            failed = failed or isinstance(event.response, _ErrorResponse)
+    else:
+        result = client.wait(ticket.id, timeout=args.timeout)
+        responses = result if isinstance(result, list) else [result]
+        for response in responses:
+            if len(responses) > 1:
+                print(json.dumps(response.to_dict(), sort_keys=True))
+            else:
+                print(json.dumps(response.to_dict(), indent=2))
+            failed = failed or isinstance(response, _ErrorResponse)
+    return 1 if failed else 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -465,6 +529,92 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+
+    p_serve = sub.add_parser(
+        "serve", help="run the mapping/simulation job service over HTTP"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8421, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result-store directory (default: in-memory only)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission queue bound; submissions beyond it get HTTP 429",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="dispatch worker threads"
+    )
+    p_serve.add_argument(
+        "--executor",
+        default="process",
+        choices=BATCH_EXECUTORS,
+        help="run_batch executor for job slots (default: process)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request wall-clock budget in seconds (default: none)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a request to a running service"
+    )
+    p_submit.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8421"
+    )
+    p_submit.add_argument(
+        "--json",
+        action="append",
+        metavar="FILE",
+        help="request payload JSON file ('-' = stdin; repeat for a batch job)",
+    )
+    p_submit.add_argument(
+        "--app", default=None, help="app name or core-graph JSON path"
+    )
+    p_submit.add_argument("--algorithm", default="nmap", choices=mappers)
+    p_submit.add_argument(
+        "--topology",
+        default=None,
+        help="'auto', 'mesh:4x4' or 'torus:8x8' (default: smallest mesh fit)",
+    )
+    p_submit.add_argument("--mesh", default=None, help=argparse.SUPPRESS)
+    p_submit.add_argument(
+        "--link-bw", type=float, default=None, help="uniform link BW in MB/s"
+    )
+    p_submit.add_argument(
+        "--seed", type=int, default=None, help="seed for stochastic mappers"
+    )
+    p_submit.add_argument(
+        "--mapper-opt",
+        action="append",
+        metavar="KEY=VALUE",
+        help="algorithm option (repeatable)",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream per-slot results as NDJSON while the job runs",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client-side wait budget in seconds",
+    )
     return parser
 
 
@@ -480,6 +630,8 @@ def main(argv: list[str] | None = None) -> int:
         "design": _cmd_design,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     try:
         return handlers[args.command](args)

@@ -59,6 +59,22 @@ class BatchError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The mapping/simulation service could not satisfy a client call.
+
+    Raised by :class:`repro.service.client.ServiceClient` for transport
+    failures (server unreachable, malformed reply), overload rejections
+    (HTTP 429/503) and, from the convenience ``map``/``simulate`` helpers,
+    for jobs that completed with a typed failure — in that case the
+    worker-side :class:`repro.api.ErrorResponse` payload rides along as
+    ``response`` so callers keep the full typed round trip.
+    """
+
+    def __init__(self, message: str, response=None) -> None:
+        super().__init__(message)
+        self.response = response
+
+
 class SimulationError(ReproError):
     """The cycle-level NoC simulator was configured or driven incorrectly."""
 

@@ -36,6 +36,7 @@ def run_latency_sweep(
     num_vcs: int = 1,
     workers: int | None = None,
     executor: str = "thread",
+    service_url: str | None = None,
 ) -> ExperimentTable:
     """Latency-vs-injection-rate curves for synthetic patterns.
 
@@ -49,6 +50,13 @@ def run_latency_sweep(
         num_vcs: virtual channels per link (1 = the paper's router).
         workers: worker count for the request batch.
         executor: ``"thread"`` or ``"process"`` (multi-core sweeps).
+        service_url: when set, the sweep is submitted as one batch job to
+            a running ``repro serve`` instance instead of executing
+            locally — same requests, same typed responses, but the
+            service's content-addressed store dedups repeated sweeps and
+            its admission control shields the box (``workers``/
+            ``executor`` then describe the *service's* configuration, not
+            this process).
     """
     # VOPD's 16 cores pin the 4x4 fabric; link bandwidth well above the
     # sweep's saturation point so the network, not the spec, is the limit.
@@ -75,7 +83,17 @@ def run_latency_sweep(
         for pattern in patterns
         for rate in rates
     ]
-    responses = run_batch(requests, workers=workers, executor=executor)
+    if service_url is not None:
+        # The client-driven path: one batch job over the wire.  The typed
+        # payloads round-trip losslessly, so the table below cannot tell
+        # the difference — the dedup/admission behavior is the point.
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(service_url)
+        ticket = client.submit(requests)
+        responses = client.wait(ticket.id)
+    else:
+        responses = run_batch(requests, workers=workers, executor=executor)
 
     table = ExperimentTable(
         title="Latency vs injection rate - synthetic traffic saturation sweep",
@@ -86,7 +104,8 @@ def run_latency_sweep(
             f"{num_vcs} VC(s)",
             f"{engine} engine; {measure_cycles} measured cycles/point; "
             f"offered load in flits/cycle per node",
-        ],
+        ]
+        + ([f"served by {service_url}"] if service_url is not None else []),
     )
     by_key = {
         (r.request.options.traffic, r.request.options.injection_rate): r

@@ -1,0 +1,296 @@
+"""The thin blocking Python client for the job service (stdlib only).
+
+:class:`ServiceClient` speaks the wire protocol of
+:mod:`repro.service.server` over ``http.client``: submit typed requests,
+poll job status, fetch raw canonical result bytes (the byte-identity
+surface), stream per-slot NDJSON events, or use the one-call ``map`` /
+``simulate`` conveniences.  Responses come back as the same typed
+``repro.api`` payloads a local ``run()`` would produce — including
+:class:`~repro.api.ErrorResponse` for failed slots, which the convenience
+helpers re-raise as :class:`~repro.errors.ServiceError` with the typed
+payload attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.api.specs import (
+    ErrorResponse,
+    MapRequest,
+    MapResponse,
+    SimRequest,
+    SimResponse,
+)
+from repro.errors import ServiceError
+from repro.service.wire import RESPONSE_KINDS, parse_response
+
+Request = MapRequest | SimRequest
+Response = MapResponse | SimResponse | ErrorResponse
+
+
+@dataclass(frozen=True)
+class JobTicket:
+    """A submission receipt: the handle everything else takes."""
+
+    id: str
+    batch: bool
+    slots: int
+    keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One completed slot from the ``/events`` NDJSON stream.
+
+    ``cached`` is the server's provenance flag: True when the slot was
+    served from the result store or another job's in-flight computation
+    rather than executed for this job.
+    """
+
+    index: int
+    key: str
+    cached: bool
+    response: Response
+
+
+class ServiceClient:
+    """Blocking client for one service endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ServiceError(
+                f"only http:// service URLs are supported, got {base_url!r}"
+            )
+        if parsed.hostname is None:
+            raise ServiceError(f"service URL {base_url!r} has no host")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    # -- transport ------------------------------------------------------
+    def _open(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        connection = self._open()
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            reply = connection.getresponse()
+            return reply.status, reply.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _request_json(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        status, data = self._request(method, path, body)
+        try:
+            parsed = json.loads(data)
+        except ValueError as exc:
+            raise ServiceError(
+                f"service returned a non-JSON body for {method} {path} "
+                f"(HTTP {status})"
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise ServiceError(
+                f"service returned a non-object body for {method} {path}"
+            )
+        return status, parsed
+
+    @staticmethod
+    def _raise_for(status: int, payload: dict, context: str) -> None:
+        raise ServiceError(
+            f"{context}: HTTP {status} "
+            f"{payload.get('error', 'error')}: {payload.get('message', '')}"
+        )
+
+    # -- introspection --------------------------------------------------
+    def health(self) -> dict:
+        status, payload = self._request_json("GET", "/v1/health")
+        if status != 200:
+            self._raise_for(status, payload, "health check failed")
+        return payload
+
+    def mappers(self) -> list[dict]:
+        status, payload = self._request_json("GET", "/v1/mappers")
+        if status != 200:
+            self._raise_for(status, payload, "mapper listing failed")
+        return payload["mappers"]
+
+    # -- job lifecycle --------------------------------------------------
+    def submit(self, requests: Request | list[Request]) -> JobTicket:
+        """Submit one request (single job) or a list (batch job).
+
+        Raises:
+            ServiceError: transport failure, malformed payload (400),
+                overload (429) or draining (503) rejections — the message
+                carries the server's error class and text.
+        """
+        if isinstance(requests, (MapRequest, SimRequest)):
+            payload: dict = requests.to_dict()
+        else:
+            if not requests:
+                raise ServiceError("cannot submit an empty batch")
+            payload = {"requests": [request.to_dict() for request in requests]}
+        status, reply = self._request_json("POST", "/v1/jobs", payload)
+        if status != 202:
+            self._raise_for(status, reply, "submission rejected")
+        return JobTicket(
+            id=reply["id"],
+            batch=bool(reply["batch"]),
+            slots=int(reply["slots"]),
+            keys=tuple(reply["keys"]),
+        )
+
+    def status(self, job_id: str) -> dict:
+        """The raw job envelope (any completion state)."""
+        status, payload = self._request_json("GET", f"/v1/jobs/{job_id}")
+        if "id" not in payload:
+            self._raise_for(status, payload, f"job {job_id} lookup failed")
+        return payload
+
+    def result_raw(self, job_id: str) -> bytes:
+        """The canonical result bytes of a completed job.
+
+        Single jobs return the stored entry verbatim (even for typed
+        failures — the body *is* the ``error-response`` payload); batch
+        jobs return the NDJSON concatenation of every slot.
+        """
+        status, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        try:
+            probe = json.loads(data.split(b"\n", 1)[0])
+        except ValueError:
+            probe = None
+        if isinstance(probe, dict) and probe.get("kind") in RESPONSE_KINDS:
+            return data
+        payload = probe if isinstance(probe, dict) else {}
+        self._raise_for(status, payload, f"job {job_id} result unavailable")
+        raise AssertionError("unreachable")
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.05
+    ) -> Response | list[Response]:
+        """Poll until the job completes; return typed response(s).
+
+        Single jobs return one typed payload (``ErrorResponse`` included —
+        it is a result, not an exception); batch jobs return the ordered
+        list of slot payloads.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            envelope = self.status(job_id)
+            if envelope["status"] == "done":
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} did not complete within {timeout} s "
+                    f"(status {envelope['status']}, "
+                    f"{envelope['done']}/{envelope['total']} slots)"
+                )
+            time.sleep(poll)
+        data = self.result_raw(job_id)
+        lines = [line for line in data.split(b"\n") if line.strip()]
+        responses = [parse_response(json.loads(line)) for line in lines]
+        if envelope["batch"]:
+            return responses
+        return responses[0]
+
+    def stream(self, job_id: str) -> Iterator[StreamEvent]:
+        """Yield per-slot results as the server completes them (NDJSON)."""
+        connection = self._open()
+        try:
+            try:
+                connection.request(
+                    "GET",
+                    f"/v1/jobs/{job_id}/events",
+                    headers={"Connection": "close"},
+                )
+                reply = connection.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.base_url}: {exc}"
+                ) from exc
+            if reply.status != 200:
+                body = reply.read()
+                try:
+                    payload = json.loads(body)
+                except ValueError:
+                    payload = {}
+                self._raise_for(
+                    reply.status, payload, f"job {job_id} event stream refused"
+                )
+            for line in reply:
+                if not line.strip():
+                    continue
+                event = json.loads(line)
+                if event.get("done"):
+                    return
+                yield StreamEvent(
+                    index=int(event["index"]),
+                    key=event["key"],
+                    cached=bool(event["cached"]),
+                    response=parse_response(event["payload"]),
+                )
+            raise ServiceError(
+                f"job {job_id} event stream ended without a done marker "
+                f"(server dropped mid-stream?)"
+            )
+        finally:
+            connection.close()
+
+    # -- conveniences ---------------------------------------------------
+    def _run_single(
+        self, request: Request, timeout: float | None
+    ) -> Response:
+        ticket = self.submit(request)
+        response = self.wait(ticket.id, timeout=timeout)
+        assert not isinstance(response, list)
+        if isinstance(response, ErrorResponse):
+            raise ServiceError(
+                f"request failed on the service: {response.describe()}",
+                response=response,
+            )
+        return response
+
+    def map(self, request: MapRequest, timeout: float | None = None) -> MapResponse:
+        """Submit one map request and block for its typed response."""
+        response = self._run_single(request, timeout)
+        assert isinstance(response, MapResponse)
+        return response
+
+    def simulate(
+        self, request: SimRequest, timeout: float | None = None
+    ) -> SimResponse:
+        """Submit one sim request and block for its typed response."""
+        response = self._run_single(request, timeout)
+        assert isinstance(response, SimResponse)
+        return response

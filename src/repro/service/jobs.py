@@ -1,0 +1,374 @@
+"""Job lifecycle: admission control, registry, and the dispatch workers.
+
+A *job* is one submission — a single request or a batch — broken into
+per-request *slots*.  Admission is a bounded queue: a full queue rejects
+the submission (HTTP 429 upstream) instead of letting latency grow without
+bound, and a draining service rejects everything new (503) while finishing
+what it already accepted.
+
+Worker threads pull whole jobs and run them through the content-addressed
+store's dedup protocol: every slot key is claimed first (store hits and
+keys another job is already computing resolve without executing anything),
+then the owned misses fan out through :func:`repro.api.run_batch` — by
+default with ``executor="process"``, so the service inherits all of the
+batch engine's hardening (typed ``ErrorResponse`` slots, per-request
+timeouts, crash-retry for dead workers) and its multi-core scaling.  Owned
+misses run in chunks so a long sweep publishes results incrementally and
+the ``/events`` stream sees per-point progress rather than one burst.
+
+Slots whose key another job owns are awaited *after* all owned keys are
+published — that ordering (plus per-job key dedup) is what makes the
+cross-job wait graph acyclic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import threading
+import uuid
+from collections import OrderedDict
+
+from repro.api import canonical_request_key, run_batch
+from repro.api.specs import ErrorResponse, MapRequest, SimRequest
+from repro.errors import ApiError, ServiceError
+from repro.service.store import ResultStore
+from repro.service.wire import canonical_response_bytes
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+
+SLOT_PENDING = "pending"
+SLOT_DONE = "done"
+
+
+class OverloadedError(ServiceError):
+    """The admission queue is full; the submission was rejected (429)."""
+
+
+class DrainingError(ServiceError):
+    """The service is shutting down and accepts no new work (503)."""
+
+
+class JobSlot:
+    """One request inside a job, plus its completed wire bytes."""
+
+    __slots__ = ("request", "key", "status", "data", "cached", "kind", "error")
+
+    def __init__(self, request: MapRequest | SimRequest) -> None:
+        self.request = request
+        self.key = canonical_request_key(request)
+        self.status = SLOT_PENDING
+        self.data: bytes | None = None
+        self.cached = False
+        self.kind: str | None = None
+        self.error: str | None = None
+
+    def describe(self, index: int) -> dict:
+        return {
+            "index": index,
+            "key": self.key,
+            "status": self.status,
+            "cached": self.cached,
+            "kind": self.kind,
+            "error": self.error,
+        }
+
+
+class Job:
+    """One submission: ordered slots plus coarse status, lock-guarded."""
+
+    def __init__(
+        self, job_id: str, requests: list[MapRequest | SimRequest], batch: bool
+    ) -> None:
+        self.id = job_id
+        self.batch = batch
+        self.slots = [JobSlot(request) for request in requests]
+        self.status = JOB_QUEUED
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    def record(self, index: int, data: bytes, cached: bool) -> None:
+        """Complete one slot with its canonical wire bytes."""
+        payload = json.loads(data)
+        slot = self.slots[index]
+        with self._lock:
+            slot.data = data
+            slot.cached = cached
+            slot.kind = payload.get("kind")
+            slot.error = (
+                payload.get("error") if slot.kind == "error-response" else None
+            )
+            slot.status = SLOT_DONE
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.status = JOB_RUNNING
+
+    def mark_done(self) -> None:
+        with self._lock:
+            self.status = JOB_DONE
+        self._done.set()
+
+    def wait_done(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def slot_view(self, index: int) -> tuple[str, bytes | None, bool]:
+        """A consistent (status, data, cached) snapshot of one slot."""
+        slot = self.slots[index]
+        with self._lock:
+            return slot.status, slot.data, slot.cached
+
+    def describe(self) -> dict:
+        """The job envelope served by ``GET /v1/jobs/{id}`` (no payloads)."""
+        with self._lock:
+            done = sum(1 for slot in self.slots if slot.status == SLOT_DONE)
+            return {
+                "id": self.id,
+                "status": self.status,
+                "batch": self.batch,
+                "total": len(self.slots),
+                "done": done,
+                "slots": [
+                    slot.describe(index) for index, slot in enumerate(self.slots)
+                ],
+            }
+
+
+class JobRegistry:
+    """Thread-safe id -> job map with bounded completed-job history."""
+
+    def __init__(self, limit: int = 256) -> None:
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+
+    def create(self, requests: list[MapRequest | SimRequest], batch: bool) -> Job:
+        job = Job(uuid.uuid4().hex[:12], requests, batch)
+        with self._lock:
+            self._jobs[job.id] = job
+            completed = [
+                job_id
+                for job_id, existing in self._jobs.items()
+                if existing.status == JOB_DONE
+            ]
+            while len(self._jobs) > self._limit and completed:
+                self._jobs.pop(completed.pop(0), None)
+        return job
+
+    def discard(self, job_id: str) -> None:
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            total = len(self._jobs)
+            active = sum(
+                1 for job in self._jobs.values() if job.status != JOB_DONE
+            )
+        return {"total": total, "active": active}
+
+
+def _chunks(items: list, size: int):
+    iterator = iter(items)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class JobRunner:
+    """The bounded queue plus the worker threads that drain it."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        registry: JobRegistry,
+        *,
+        queue_limit: int = 64,
+        workers: int = 2,
+        executor: str = "process",
+        timeout: float | None = None,
+        max_batch: int = 1024,
+        chunk: int | None = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ApiError(f"queue_limit must be >= 1, got {queue_limit}")
+        if workers < 1:
+            raise ApiError(f"workers must be >= 1, got {workers}")
+        self._store = store
+        self._registry = registry
+        self._queue: "queue.Queue[Job | None]" = queue.Queue(maxsize=queue_limit)
+        self._workers = workers
+        self._executor = executor
+        self._timeout = timeout
+        self._max_batch = max_batch
+        self._chunk = chunk
+        self._threads: list[threading.Thread] = []
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-service-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; already-accepted work keeps running."""
+        self._draining = True
+
+    def drain(self) -> None:
+        """Block until every accepted job has completed, then stop workers.
+
+        The drain contract: no accepted job's results are dropped — the
+        queue empties, every in-flight job finishes and publishes, and only
+        then do the workers exit.
+        """
+        self.begin_drain()
+        self._queue.join()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, requests: list[MapRequest | SimRequest], batch: bool) -> Job:
+        """Admit one job, or refuse it loudly.
+
+        Raises:
+            DrainingError: the service is shutting down (HTTP 503).
+            OverloadedError: the admission queue is full (HTTP 429).
+            ApiError: empty submission or batch larger than ``max_batch``.
+        """
+        if not requests:
+            raise ApiError("a job needs at least one request")
+        if len(requests) > self._max_batch:
+            raise ApiError(
+                f"batch of {len(requests)} exceeds the service limit of "
+                f"{self._max_batch} requests per job"
+            )
+        if self._draining:
+            raise DrainingError("service is draining and accepts no new jobs")
+        job = self._registry.create(requests, batch)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._registry.discard(job.id)
+            raise OverloadedError(
+                f"admission queue is full ({self._queue.maxsize} jobs); retry later"
+            ) from None
+        return job
+
+    # -- execution ------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is None:
+                    return
+                try:
+                    self._run_job(job)
+                except Exception as exc:  # noqa: BLE001 — a worker must survive
+                    self._fail_pending_slots(job, exc)
+                finally:
+                    job.mark_done()
+            finally:
+                self._queue.task_done()
+
+    def _fail_pending_slots(self, job: Job, exc: Exception) -> None:
+        """Last-resort slot completion when the runner itself failed."""
+        message = f"service job runner failed: {exc}"
+        for index, slot in enumerate(job.slots):
+            if slot.status == SLOT_PENDING:
+                response = ErrorResponse(
+                    request=slot.request, error="ServiceError", message=message
+                )
+                job.record(index, canonical_response_bytes(response), cached=False)
+
+    def _run_job(self, job: Job) -> None:
+        job.mark_running()
+        store = self._store
+        # Distinct keys only: identical slots within one job share a single
+        # claim (and a thread never waits on a key it owns).
+        groups: "OrderedDict[str, list[int]]" = OrderedDict()
+        for index, slot in enumerate(job.slots):
+            groups.setdefault(slot.key, []).append(index)
+        owned: list[str] = []
+        waiting: list[str] = []
+        for key, indices in groups.items():
+            state, data = store.claim(key)
+            if state == "hit":
+                assert data is not None
+                for index in indices:
+                    job.record(index, data, cached=True)
+            elif state == "owned":
+                owned.append(key)
+            else:
+                waiting.append(key)
+
+        unpublished = set(owned)
+        try:
+            chunk_size = self._chunk or max(1, min(len(owned), os.cpu_count() or 1))
+            # isolate=True keeps singleton chunks on the pool: with the
+            # process executor a crashing request must kill a disposable
+            # worker, never the service itself.
+            isolate = self._executor == "process"
+            for chunk in _chunks(owned, chunk_size):
+                requests = [job.slots[groups[key][0]].request for key in chunk]
+                responses = run_batch(
+                    requests,
+                    executor=self._executor,
+                    timeout=self._timeout,
+                    isolate=isolate,
+                )
+                for key, response in zip(chunk, responses):
+                    data = canonical_response_bytes(response)
+                    cacheable = not isinstance(response, ErrorResponse)
+                    store.publish(key, data, cache=cacheable)
+                    unpublished.discard(key)
+                    for index in groups[key]:
+                        job.record(index, data, cached=False)
+        finally:
+            # A failure between claim and publish must not strand waiters.
+            for key in unpublished:
+                store.abandon(key)
+
+        # Only now — with nothing of ours left unpublished — wait on keys
+        # other jobs own.  Their owners follow the same discipline, so the
+        # cross-job wait graph cannot cycle.
+        for key in waiting:
+            data = store.wait(key, timeout=self._timeout)
+            cached = True
+            if data is None:
+                # The owner abandoned (or the wait timed out): compute this
+                # slot ourselves rather than failing the job — on the
+                # configured executor, so crash isolation still holds.
+                response = run_batch(
+                    [job.slots[groups[key][0]].request],
+                    executor=self._executor,
+                    timeout=self._timeout,
+                    isolate=self._executor == "process",
+                )[0]
+                data = canonical_response_bytes(response)
+                cached = False
+            for index in groups[key]:
+                job.record(index, data, cached=cached)

@@ -1,0 +1,479 @@
+"""The asyncio HTTP job service (stdlib only — no framework dependency).
+
+One event-loop thread does all socket I/O over a hand-rolled HTTP/1.1
+layer (request line + headers + Content-Length body in; Content-Length or
+chunked responses out); everything that computes runs on the
+:class:`~repro.service.jobs.JobRunner` worker threads, which in turn fan
+out through ``run_batch``.  The loop therefore stays responsive — health
+checks and status polls answer while a saturation sweep grinds.
+
+Endpoints (all JSON):
+
+* ``POST /v1/jobs`` — submit one request payload (``map-request`` /
+  ``sim-request``) or a batch (``{"requests": [...]}``); answers 202 with
+  the job id and per-slot content keys, 400 for malformed payloads, 429
+  when the admission queue is full, 503 while draining.
+* ``GET /v1/jobs/{id}`` — the job envelope (slot states, keys, cache
+  provenance), plus embedded result payloads once done.  A failed
+  single-request job answers with the status class of its typed error.
+* ``GET /v1/jobs/{id}/result`` — the raw canonical result bytes: exactly
+  the stored entry for a single job, NDJSON concatenation for a batch.
+  This is the byte-identity surface the dedup contract is verified on.
+* ``GET /v1/jobs/{id}/events`` — chunked NDJSON stream of per-slot results
+  as they complete (sweep points arrive incrementally), closed by one
+  ``{"done": true}`` line.
+* ``GET /v1/health`` — liveness, queue depth, job counts, store counters.
+* ``GET /v1/mappers`` — the mapper registry over the wire.
+
+Shutdown is a *drain*, not a drop: SIGTERM/SIGINT (or
+:meth:`NocService.request_shutdown`) stops admissions (503), finishes
+every accepted job, keeps answering status/result/stream requests through
+a short grace window, then exits.  No accepted job's results are lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass, fields
+from typing import Callable
+
+from repro.api.registry import mapper_entries
+from repro.api.specs import SCHEMA_VERSION
+from repro.errors import ApiError, ServiceError
+from repro.service.jobs import (
+    JOB_DONE,
+    SLOT_DONE,
+    DrainingError,
+    JobRegistry,
+    JobRunner,
+    OverloadedError,
+)
+from repro.service.store import ResultStore
+from repro.service.wire import parse_request, status_for_error
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service deployment can tune.
+
+    Attributes:
+        host/port: bind address; port 0 picks an ephemeral port (the bound
+            port is announced and exposed as ``NocService.port``).
+        store_root: directory for the persistent result store; None keeps
+            results in memory only (identical semantics, no reuse across
+            restarts).
+        queue_limit: admission bound — jobs queued beyond the running ones
+            before submissions get 429.
+        workers: dispatch worker threads (concurrent jobs).
+        executor: ``run_batch`` executor for job slots — ``"process"``
+            (default; true multi-core and crash isolation), ``"thread"``
+            or ``"serial"``.
+        timeout: per-request wall-clock budget passed through to
+            ``run_batch``; None disables.
+        max_batch: per-job slot cap (oversized batches get 400).
+        chunk: slots per ``run_batch`` call inside a job; None sizes chunks
+            to the CPU count (incremental streaming with full fan-out).
+        job_history: completed jobs retained for status/result queries.
+        max_body: request body cap in bytes (413 beyond it).
+        drain_grace: seconds to keep serving reads after the drain
+            completes, so pollers and open streams collect final results.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    store_root: str | None = None
+    queue_limit: int = 64
+    workers: int = 2
+    executor: str = "process"
+    timeout: float | None = None
+    max_batch: int = 1024
+    chunk: int | None = None
+    job_history: int = 256
+    max_body: int = 8 * 1024 * 1024
+    drain_grace: float = 0.5
+
+
+class _HttpError(Exception):
+    """An error reply decided before a handler produced a body."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class NocService:
+    """The service: a store, a registry, a runner, and an HTTP front end.
+
+    Two ways to run it:
+
+    * ``serve_forever()`` — block the calling thread (the ``repro serve``
+      CLI path; installs SIGTERM/SIGINT drain handlers when possible).
+    * ``start()`` / ``shutdown()`` — run the loop on a background thread
+      (tests and embedding; ``start`` returns the bound port).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(self.config.store_root)
+        self.registry = JobRegistry(limit=self.config.job_history)
+        self.runner = JobRunner(
+            self.store,
+            self.registry,
+            queue_limit=self.config.queue_limit,
+            workers=self.config.workers,
+            executor=self.config.executor,
+            timeout=self.config.timeout,
+            max_batch=self.config.max_batch,
+            chunk=self.config.chunk,
+        )
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def _main(
+        self, install_signals: bool, announce: Callable[[str], None] | None
+    ) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.runner.start()
+        server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if install_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(sig, self.request_shutdown)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
+        if announce is not None:
+            announce(
+                f"repro.service listening on http://{self.config.host}:{self.port} "
+                f"(executor={self.config.executor}, workers={self.config.workers}, "
+                f"store={'memory' if self.config.store_root is None else self.config.store_root})"
+            )
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+            # Drain: finish every accepted job on a pool thread (the loop
+            # keeps serving status/result/stream reads meanwhile), then
+            # hold the door open briefly so clients collect the results.
+            await self._loop.run_in_executor(None, self.runner.drain)
+            await asyncio.sleep(self.config.drain_grace)
+
+    def serve_forever(
+        self,
+        install_signals: bool = True,
+        announce: Callable[[str], None] | None = None,
+    ) -> None:
+        """Run until a shutdown is requested, then drain and return."""
+        asyncio.run(self._main(install_signals, announce))
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (idempotent, callable from any thread/signal)."""
+        self.runner.begin_drain()
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    def start(self) -> int:
+        """Serve on a background thread; returns the bound port."""
+        if self._thread is not None:
+            raise ServiceError("service already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"install_signals": False},
+            name="repro-service-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("service failed to start within 30 s")
+        assert self.port is not None
+        return self.port
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain and stop a background-thread service."""
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise ServiceError("service did not drain within the timeout")
+            self._thread = None
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            await self._dispatch(writer, method, path, body)
+        except _HttpError as exc:
+            await self._send_json(
+                writer,
+                exc.status,
+                {"error": exc.error, "message": exc.message},
+            )
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+        ):
+            pass  # client went away or stalled; nothing to answer
+        except Exception as exc:  # noqa: BLE001 — one connection, not the loop
+            try:
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": type(exc).__name__, "message": str(exc)},
+                )
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes] | None:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "ApiError", "malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "ApiError", "bad Content-Length header") from None
+        if length > self.config.max_body:
+            raise _HttpError(
+                413,
+                "ApiError",
+                f"body of {length} bytes exceeds the {self.config.max_body} limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body
+
+    async def _send_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        data: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        await self._send_bytes(writer, status, data)
+
+    # -- routing --------------------------------------------------------
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        if path == "/v1/health" and method == "GET":
+            await self._handle_health(writer)
+            return
+        if path == "/v1/mappers" and method == "GET":
+            await self._handle_mappers(writer)
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._handle_submit(writer, body)
+            return
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.registry.get(job_id)
+            if job is None:
+                raise _HttpError(404, "ApiError", f"no such job {job_id!r}")
+            if not tail:
+                await self._handle_job(writer, job)
+                return
+            if tail == "result":
+                await self._handle_result(writer, job)
+                return
+            if tail == "events":
+                await self._handle_events(writer, job)
+                return
+        raise _HttpError(404, "ApiError", f"no route for {method} {path}")
+
+    # -- handlers -------------------------------------------------------
+    async def _handle_health(self, writer: asyncio.StreamWriter) -> None:
+        await self._send_json(
+            writer,
+            200,
+            {
+                "status": "draining" if self.runner.draining else "ok",
+                "schema": SCHEMA_VERSION,
+                "queue_depth": self.runner.queue_depth(),
+                "jobs": self.registry.counts(),
+                "store": self.store.stats(),
+            },
+        )
+
+    async def _handle_mappers(self, writer: asyncio.StreamWriter) -> None:
+        await self._send_json(
+            writer,
+            200,
+            {
+                "mappers": [
+                    {
+                        "name": entry.name,
+                        "summary": entry.summary,
+                        "seedable": entry.seedable,
+                        "options": [
+                            field.name for field in fields(entry.options_type)
+                        ],
+                    }
+                    for entry in mapper_entries()
+                ]
+            },
+        )
+
+    async def _handle_submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise _HttpError(400, "ApiError", "body is not valid JSON") from None
+        try:
+            if isinstance(payload, dict) and "requests" in payload:
+                raw = payload["requests"]
+                if not isinstance(raw, list) or not raw:
+                    raise ApiError("'requests' must be a non-empty list")
+                requests = [parse_request(item) for item in raw]
+                batch = True
+            else:
+                requests = [parse_request(payload)]
+                batch = False
+        except ApiError as exc:
+            raise _HttpError(400, "ApiError", str(exc)) from None
+        try:
+            job = self.runner.submit(requests, batch)
+        except OverloadedError as exc:
+            raise _HttpError(429, "OverloadedError", str(exc)) from None
+        except DrainingError as exc:
+            raise _HttpError(503, "DrainingError", str(exc)) from None
+        except ApiError as exc:
+            raise _HttpError(400, "ApiError", str(exc)) from None
+        await self._send_json(
+            writer,
+            202,
+            {
+                "id": job.id,
+                "status": job.status,
+                "batch": job.batch,
+                "slots": len(job.slots),
+                "keys": [slot.key for slot in job.slots],
+            },
+        )
+
+    async def _handle_job(self, writer: asyncio.StreamWriter, job) -> None:
+        envelope = job.describe()
+        status = 200
+        if envelope["status"] == JOB_DONE:
+            envelope["results"] = [
+                json.loads(slot.data) for slot in job.slots
+            ]
+            if not job.batch:
+                status = status_for_error(job.slots[0].error)
+        await self._send_json(writer, status, envelope)
+
+    async def _handle_result(self, writer: asyncio.StreamWriter, job) -> None:
+        envelope = job.describe()
+        if envelope["status"] != JOB_DONE:
+            raise _HttpError(
+                409,
+                "PendingError",
+                f"job {job.id} is {envelope['status']}; result not ready",
+            )
+        if job.batch:
+            data = b"".join(slot.data for slot in job.slots)
+            await self._send_bytes(
+                writer, 200, data, content_type="application/x-ndjson"
+            )
+            return
+        slot = job.slots[0]
+        await self._send_bytes(writer, status_for_error(slot.error), slot.data)
+
+    async def _handle_events(self, writer: asyncio.StreamWriter, job) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+        async def send_line(obj: dict) -> None:
+            line = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+            writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+            await writer.drain()
+
+        for index in range(len(job.slots)):
+            while True:
+                status, data, cached = job.slot_view(index)
+                if status == SLOT_DONE:
+                    break
+                await asyncio.sleep(0.02)
+            await send_line(
+                {
+                    "index": index,
+                    "key": job.slots[index].key,
+                    "cached": cached,
+                    "payload": json.loads(data),
+                }
+            )
+        await send_line({"done": True, "id": job.id, "status": job.describe()["status"]})
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()

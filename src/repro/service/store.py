@@ -1,0 +1,258 @@
+"""Content-addressed result store: the service's persistent cache tier.
+
+Entries are keyed by :func:`repro.api.canonical_request_key` — the SHA-256
+of the canonical serialized request — and hold the canonical response
+bytes (:func:`repro.service.wire.canonical_response_bytes`).  The store
+generalizes the PR-4 in-process ``execute_map``/routing caches into a tier
+that survives the process and is shared by every worker thread:
+
+* **Schema-version namespacing.**  Entries live under
+  ``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json``; bumping the payload
+  schema changes both the namespace directory *and* the key itself (the
+  blob embeds the version), so stale-format entries can never be served.
+* **Atomic writes.**  Every entry is written to a temporary file in the
+  destination directory and published with ``os.replace`` — concurrent
+  writers of one key race harmlessly to an identical final state and a
+  reader can never observe a half-written entry.
+* **Corruption tolerance.**  A truncated or garbage entry (killed writer
+  on a non-atomic filesystem, disk fault) fails JSON validation on read,
+  is unlinked best-effort, and reads as a miss — the request recomputes
+  and repairs the entry instead of crashing the service.
+* **In-flight dedup.**  The first caller to :meth:`claim` a cold key owns
+  its computation; concurrent claimers of the same key :meth:`wait` and
+  receive the owner's exact bytes.  100 identical concurrent submissions
+  execute once and all 100 read byte-identical bodies.
+
+Error results (``error-response`` payloads) are *published* to waiters —
+concurrent duplicates of a failing request all see the same typed failure
+— but never *persisted*: a transient timeout or worker death must not
+poison the cache for future submissions.
+
+Deadlock discipline for direct ``claim``/``publish`` users (the job
+runner): never ``wait`` on a key before publishing or abandoning every key
+you own, and claim each distinct key at most once per job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.api.specs import SCHEMA_VERSION
+
+
+class _InFlight:
+    """One in-progress computation: waiters block on ``event``."""
+
+    __slots__ = ("event", "data")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.data: bytes | None = None
+
+
+class ResultStore:
+    """Thread-safe content-addressed result store (disk- or memory-backed).
+
+    Args:
+        root: directory for the persistent tier; ``None`` keeps entries in
+            memory only (tests, throwaway servers) with identical
+            semantics.
+        schema_version: payload schema the namespace is bound to; defaults
+            to the library's :data:`~repro.api.SCHEMA_VERSION`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self._root = None if root is None else Path(root)
+        self._schema = schema_version
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
+        self._memory: dict[str, bytes] = {}
+        self._counts = {
+            "executed": 0,
+            "stored": 0,
+            "hits": 0,
+            "inflight_waits": 0,
+            "corrupt_dropped": 0,
+            "errors_uncached": 0,
+        }
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def namespace(self) -> Path | None:
+        """Schema-versioned root directory (``None`` for memory stores)."""
+        if self._root is None:
+            return None
+        return self._root / f"v{self._schema}"
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's entry (disk-backed stores only)."""
+        namespace = self.namespace
+        if namespace is None:
+            raise ValueError("memory-backed store has no entry paths")
+        return namespace / key[:2] / f"{key}.json"
+
+    # -- validation -----------------------------------------------------
+    @staticmethod
+    def _valid(data: bytes) -> bool:
+        """A well-formed entry: one JSON object carrying a payload kind."""
+        try:
+            payload = json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            return False
+        return isinstance(payload, dict) and "kind" in payload
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[counter] += amount
+
+    def _read(self, key: str) -> bytes | None:
+        """Raw entry bytes, or None for a miss *or* a dropped corrupt entry."""
+        if self._root is None:
+            with self._lock:
+                return self._memory.get(key)
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if not self._valid(data):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._bump("corrupt_dropped")
+            return None
+        return data
+
+    # -- basic tier -----------------------------------------------------
+    def get(self, key: str) -> bytes | None:
+        """Entry bytes for ``key``, or None (misses and corrupt entries)."""
+        data = self._read(key)
+        if data is not None:
+            self._bump("hits")
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        """Persist an entry atomically (temp file + ``os.replace``)."""
+        if self._root is None:
+            with self._lock:
+                self._memory[key] = data
+                self._counts["stored"] += 1
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        self._bump("stored")
+
+    # -- in-flight dedup ------------------------------------------------
+    def claim(self, key: str) -> tuple[str, bytes | None]:
+        """Resolve a key against both tiers, claiming it when cold.
+
+        Returns one of:
+
+        * ``("hit", data)`` — the entry exists; serve it.
+        * ``("owned", None)`` — the caller now owns computing this key and
+          must eventually :meth:`publish` or :meth:`abandon` it.
+        * ``("wait", None)`` — another caller owns it; :meth:`wait`.
+        """
+        with self._lock:
+            if key in self._inflight:
+                self._counts["inflight_waits"] += 1
+                return "wait", None
+        data = self.get(key)
+        if data is not None:
+            return "hit", data
+        with self._lock:
+            # Re-check: someone may have claimed between the read and here.
+            if key in self._inflight:
+                self._counts["inflight_waits"] += 1
+                return "wait", None
+            self._inflight[key] = _InFlight()
+            return "owned", None
+
+    def publish(self, key: str, data: bytes, cache: bool = True) -> None:
+        """Complete an owned key: hand ``data`` to waiters, persist if asked.
+
+        ``cache=False`` is the error path — waiters still receive the exact
+        bytes (concurrent duplicates stay byte-identical), but nothing is
+        persisted, so the next submission recomputes.
+        """
+        if cache:
+            self.put(key, data)
+        else:
+            self._bump("errors_uncached")
+        self._bump("executed")
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+        if entry is not None:
+            entry.data = data
+            entry.event.set()
+
+    def abandon(self, key: str) -> None:
+        """Release an owned key without a result; waiters must recompute."""
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+        if entry is not None:
+            entry.event.set()
+
+    def wait(self, key: str, timeout: float | None = None) -> bytes | None:
+        """Block until the in-flight computation of ``key`` completes.
+
+        Returns the published bytes, the stored entry when the owner
+        already finished, or None when the owner abandoned (or the wait
+        timed out) — the caller then computes for itself.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+        if entry is None:
+            return self._read(key)
+        if not entry.event.wait(timeout):
+            return None
+        if entry.data is not None:
+            return entry.data
+        return self._read(key)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], tuple[bytes, bool]]
+    ) -> tuple[bytes, str]:
+        """The full dedup protocol for single-key callers.
+
+        ``compute`` returns ``(data, cacheable)``.  The result is the entry
+        bytes plus their origin: ``"hit"`` (store), ``"inflight"`` (another
+        caller's computation) or ``"computed"`` (this call executed it).
+        """
+        while True:
+            state, data = self.claim(key)
+            if state == "hit":
+                assert data is not None
+                return data, "hit"
+            if state == "owned":
+                try:
+                    data, cacheable = compute()
+                except BaseException:
+                    self.abandon(key)
+                    raise
+                self.publish(key, data, cache=cacheable)
+                return data, "computed"
+            data = self.wait(key)
+            if data is not None:
+                return data, "inflight"
+            # Owner abandoned (crash) or served an uncached error that is
+            # already gone — loop and claim it ourselves.
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (served via ``GET /v1/health``)."""
+        with self._lock:
+            snapshot = dict(self._counts)
+            snapshot["inflight"] = len(self._inflight)
+        return snapshot

@@ -96,6 +96,25 @@ class TestWorkerCrash:
         assert responses[0].to_dict() == clean.to_dict()
         assert responses[2].to_dict() == clean.to_dict()
 
+    def test_isolate_keeps_a_singleton_crasher_off_the_host(self, monkeypatch):
+        """``isolate=True`` forces the pool even for a one-request batch.
+
+        Without it the singleton short-circuit would run the request in
+        this very process and ``os._exit`` would take the host down — the
+        exact hazard a long-lived embedder (the job service) uses the flag
+        to rule out.
+        """
+        monkeypatch.setenv("REPRO_CRASH_TAG", "boom")
+        crasher = MapRequest(
+            app="pip", mapper="nmap", price_bandwidth=False, tag="boom"
+        )
+        responses = run_batch(
+            [crasher], executor="process", retries=1, isolate=True
+        )
+        assert isinstance(responses[0], ErrorResponse)
+        assert responses[0].error == "BatchError"
+        assert "worker process died" in responses[0].message
+
     def test_crash_plus_timeout_acceptance(self, monkeypatch):
         """One crashing + one timing-out request: every other slot survives,
         and the raise/timeout payloads are executor-independent."""

@@ -1,0 +1,118 @@
+"""The canonical request key: golden stability, cache rewiring, clear races.
+
+The key is a *contract*: the in-process request caches and the service's
+persistent result store both key on it, and on-disk entries outlive any
+one process — so the exact hex values are pinned here.  If one of these
+golden tests fails, a payload field changed shape without a schema bump,
+and every deployed store would silently go cold (or worse, with a reused
+version, serve stale entries).  Bump ``SCHEMA_VERSION`` and regenerate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.api.engine as engine_module
+from repro.api import (
+    MapRequest,
+    SimRequest,
+    TopologySpec,
+    canonical_request_blob,
+    canonical_request_key,
+    clear_request_caches,
+)
+from repro.errors import ApiError
+
+GOLDEN_KEYS = {
+    "map-default": (
+        MapRequest(app="vopd"),
+        "dde677c2067cf1ca43aee8eb0b33a46ddc0d0ada80a95618218eb6bf895abda8",
+    ),
+    "map-torus-seeded": (
+        MapRequest(
+            app="mpeg4",
+            mapper="annealing",
+            topology=TopologySpec.parse("torus:4x4"),
+            seed=7,
+        ),
+        "b90396082af901ead76141b0cfc5212c40ce7849c61fd70d20c9f5b37b48b761",
+    ),
+    "sim-default": (
+        SimRequest(
+            map_request=MapRequest(app="dsp", price_bandwidth=False), sim_seed=3
+        ),
+        "6b4f07581e0507b2db1f892e26187afa33a5ac0e92bb8e346e71dd7a812a93c2",
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_KEYS))
+def test_golden_key_values(label):
+    request, expected = GOLDEN_KEYS[label]
+    assert canonical_request_key(request) == expected
+
+
+def test_blob_is_compact_sorted_json():
+    blob = canonical_request_blob(MapRequest(app="vopd"))
+    assert blob.startswith('{"app":"vopd"')
+    assert ": " not in blob and ", " not in blob
+    assert '"schema":1' in blob
+
+
+def test_key_is_construction_independent():
+    """Python-built and wire-parsed requests share one content address."""
+    direct = MapRequest(app="vopd", mapper="gmap")
+    parsed = MapRequest.from_dict(direct.to_dict())
+    assert canonical_request_key(direct) == canonical_request_key(parsed)
+
+
+def test_key_distinguishes_payloads():
+    base = MapRequest(app="vopd")
+    assert canonical_request_key(base) != canonical_request_key(
+        MapRequest(app="vopd", mapper="gmap")
+    )
+    assert canonical_request_key(base) != canonical_request_key(
+        MapRequest(app="vopd", price_bandwidth=False)
+    )
+
+
+def test_key_rejects_non_requests():
+    with pytest.raises(ApiError):
+        canonical_request_key({"kind": "map-request"})  # type: ignore[arg-type]
+
+
+def test_in_memory_caches_use_canonical_key():
+    """The PR-4 caches and the persistent store share one keying scheme."""
+    assert engine_module._map_cache_key is canonical_request_key
+
+
+class TestClearRaceSafety:
+    """A thread pounding submissions while another clears must never tear."""
+
+    def test_concurrent_submit_and_clear(self):
+        request = MapRequest(app="vopd", price_bandwidth=False)
+        reference = engine_module._cached_execute_map(request)[1].comm_cost
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def pound():
+            try:
+                while not stop.is_set():
+                    _, result = engine_module._cached_execute_map(request)
+                    assert result.comm_cost == reference
+            except BaseException as exc:  # noqa: BLE001 — recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            clear_request_caches()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        # The caches still work after the storm.
+        assert engine_module._cached_execute_map(request)[1].comm_cost == reference

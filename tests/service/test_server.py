@@ -1,0 +1,346 @@
+"""End-to-end service tests over real HTTP on an ephemeral port.
+
+Every test here talks to a live :class:`NocService` through
+:class:`ServiceClient` — the full wire path: typed request -> JSON body ->
+asyncio server -> admission queue -> worker -> store -> canonical bytes ->
+typed response.  The acceptance contract (N identical concurrent
+submissions execute once and read byte-identical bodies; warm equals cold;
+drain drops nothing) is pinned explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    ErrorResponse,
+    MapRequest,
+    SimOptions,
+    SimRequest,
+    TopologySpec,
+    run_map,
+    run_sim,
+)
+from repro.errors import ServiceError
+from repro.service import NocService, ServiceClient, ServiceConfig
+
+MAP_REQUEST = MapRequest(app="vopd", price_bandwidth=False)
+
+
+def small_sim(rate: float = 0.05, tag: str | None = None) -> SimRequest:
+    return SimRequest(
+        map_request=MapRequest(app="vopd", price_bandwidth=False, tag=tag),
+        measure_cycles=400,
+        warmup_cycles=100,
+        drain_cycles=200,
+        options=SimOptions(traffic="uniform", injection_rate=rate, engine="event"),
+    )
+
+
+def wait_for(predicate, timeout=30.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+class TestIntrospection:
+    def test_health(self, service_pair):
+        _, client = service_pair
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["schema"] == 1
+        assert set(payload["store"]) >= {"executed", "hits", "stored"}
+
+    def test_mappers_lists_the_registry(self, service_pair):
+        _, client = service_pair
+        mappers = client.mappers()
+        names = [mapper["name"] for mapper in mappers]
+        assert "nmap" in names and "annealing" in names
+        nmap = next(mapper for mapper in mappers if mapper["name"] == "nmap")
+        assert nmap["seedable"] is False
+        assert "max_iterations" in nmap["options"] or nmap["options"]
+
+
+class TestSingleJobs:
+    def test_map_round_trip_matches_local_run(self, service_pair):
+        _, client = service_pair
+        response = client.map(MAP_REQUEST)
+        assert response.to_dict() == run_map(MAP_REQUEST).to_dict()
+
+    def test_sim_round_trip_matches_local_run(self, service_pair):
+        _, client = service_pair
+        request = small_sim()
+        response = client.simulate(request)
+        assert response.to_dict() == run_sim(request).to_dict()
+
+    def test_submit_then_poll_then_result(self, service_pair):
+        _, client = service_pair
+        ticket = client.submit(MAP_REQUEST)
+        assert ticket.slots == 1 and not ticket.batch
+        assert len(ticket.keys[0]) == 64
+        response = client.wait(ticket.id, timeout=60)
+        assert response.feasible
+        envelope = client.status(ticket.id)
+        assert envelope["status"] == "done"
+        assert envelope["slots"][0]["kind"] == "map-response"
+
+    def test_unknown_job_is_a_service_error(self, service_pair):
+        _, client = service_pair
+        with pytest.raises(ServiceError, match="no such job"):
+            client.status("definitely-not-a-job")
+
+
+class TestSubmissionValidation:
+    def test_malformed_json_is_400(self, service_pair):
+        _, client = service_pair
+        status, _ = client._request("POST", "/v1/jobs", b"{not json")
+        assert status == 400
+
+    def test_unknown_kind_is_400(self, service_pair):
+        _, client = service_pair
+        status, _ = client._request("POST", "/v1/jobs", b'{"kind": "mystery"}')
+        assert status == 400
+
+    def test_unknown_mapper_rejected_at_submission(self, service_pair):
+        _, client = service_pair
+        payload = MAP_REQUEST.to_dict()
+        payload["mapper"] = "nope"
+        import json as json_module
+
+        status, body = client._request(
+            "POST", "/v1/jobs", json_module.dumps(payload).encode()
+        )
+        assert status == 400
+        assert b"ApiError" in body
+
+    def test_empty_batch_is_400(self, service_pair):
+        _, client = service_pair
+        status, _ = client._request("POST", "/v1/jobs", b'{"requests": []}')
+        assert status == 400
+
+
+class TestDedup:
+    """The acceptance criterion, verified over live HTTP."""
+
+    def test_concurrent_identical_submissions_execute_once(self, make_service):
+        service, client = make_service(workers=3)
+        request = small_sim(rate=0.07)
+        before = client.health()["store"]["executed"]
+        tickets: list = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def submit(index):
+            barrier.wait()
+            tickets[index] = client.submit(request)
+
+        threads = [
+            threading.Thread(target=submit, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        bodies = set()
+        for ticket in tickets:
+            client.wait(ticket.id, timeout=120)
+            bodies.add(client.result_raw(ticket.id))
+        assert len(bodies) == 1
+        assert client.health()["store"]["executed"] - before == 1
+
+    def test_warm_resubmission_is_byte_identical_and_cached(self, service_pair):
+        _, client = service_pair
+        cold_ticket = client.submit(MAP_REQUEST)
+        client.wait(cold_ticket.id, timeout=60)
+        cold = client.result_raw(cold_ticket.id)
+        assert client.status(cold_ticket.id)["slots"][0]["cached"] is False
+
+        warm_ticket = client.submit(MAP_REQUEST)
+        client.wait(warm_ticket.id, timeout=60)
+        assert client.result_raw(warm_ticket.id) == cold
+        assert client.status(warm_ticket.id)["slots"][0]["cached"] is True
+
+    def test_store_survives_a_service_restart(self, make_service, tmp_path):
+        root = str(tmp_path / "shared-store")
+        first, client = make_service(store_root=root)
+        ticket = client.submit(MAP_REQUEST)
+        client.wait(ticket.id, timeout=60)
+        cold = client.result_raw(ticket.id)
+        first.shutdown()
+
+        _, fresh_client = make_service(store_root=root)
+        executed_before = fresh_client.health()["store"]["executed"]
+        ticket = fresh_client.submit(MAP_REQUEST)
+        fresh_client.wait(ticket.id, timeout=60)
+        assert fresh_client.result_raw(ticket.id) == cold
+        assert fresh_client.health()["store"]["executed"] == executed_before
+
+
+class TestBatchAndStreaming:
+    def test_batch_preserves_order_and_streams_every_slot(self, service_pair):
+        _, client = service_pair
+        rates = (0.02, 0.05, 0.08)
+        requests = [small_sim(rate=rate) for rate in rates]
+        ticket = client.submit(requests)
+        assert ticket.batch and ticket.slots == 3
+        events = list(client.stream(ticket.id))
+        assert [event.index for event in events] == [0, 1, 2]
+        swept = [
+            event.response.request.options.injection_rate for event in events
+        ]
+        assert tuple(swept) == rates
+        # wait() returns the same ordered typed payloads.
+        responses = client.wait(ticket.id, timeout=60)
+        assert [r.to_dict() for r in responses] == [
+            e.response.to_dict() for e in events
+        ]
+
+    def test_duplicate_slots_within_a_batch_share_one_execution(
+        self, service_pair
+    ):
+        _, client = service_pair
+        request = small_sim(rate=0.06)
+        before = client.health()["store"]["executed"]
+        ticket = client.submit([request, request, request])
+        responses = client.wait(ticket.id, timeout=120)
+        assert client.health()["store"]["executed"] - before == 1
+        assert len({str(r.to_dict()) for r in responses}) == 1
+
+    def test_batch_result_is_ndjson_of_canonical_lines(self, service_pair):
+        _, client = service_pair
+        ticket = client.submit([small_sim(0.02), small_sim(0.05)])
+        client.wait(ticket.id, timeout=60)
+        raw = client.result_raw(ticket.id)
+        lines = raw.strip().split(b"\n")
+        assert len(lines) == 2
+        # Each line is exactly a single slot's canonical entry bytes.
+        single = client.submit(small_sim(0.02))
+        client.wait(single.id, timeout=60)
+        assert lines[0] + b"\n" == client.result_raw(single.id)
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_is_429(self, make_service, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "slow")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "1.5")
+        _, client = make_service(queue_limit=1, workers=1)
+        first = client.submit(small_sim(rate=0.02, tag="slow"))
+        # Wait until the worker owns job 1, so job 2 deterministically
+        # occupies the single queue slot and job 3 overflows.
+        assert wait_for(
+            lambda: client.status(first.id)["status"] == "running"
+        )
+        client.submit(small_sim(rate=0.03, tag="slow"))
+        with pytest.raises(ServiceError, match="429"):
+            client.submit(small_sim(rate=0.04))
+
+    def test_oversized_batch_is_rejected(self, make_service):
+        _, client = make_service(max_batch=2)
+        with pytest.raises(ServiceError, match="400"):
+            client.submit([small_sim(0.02), small_sim(0.03), small_sim(0.04)])
+
+
+class TestErrorPropagation:
+    """Typed worker-side errors keep their type across the wire."""
+
+    def test_runtime_api_error_round_trips_with_400(self, service_pair):
+        _, client = service_pair
+        # Valid payload, impossible at run time: vopd's 16 cores cannot fit
+        # a 2x2 grid — execute_map raises ApiError inside the worker.
+        request = MapRequest(
+            app="vopd", topology=TopologySpec.parse("mesh:2x2")
+        )
+        ticket = client.submit(request)
+        response = client.wait(ticket.id, timeout=60)
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ApiError"
+        assert response.request == request  # echoed verbatim, fully typed
+        status, _ = client._request("GET", f"/v1/jobs/{ticket.id}/result")
+        assert status == 400
+        envelope = client.status(ticket.id)
+        assert envelope["slots"][0]["error"] == "ApiError"
+
+    def test_convenience_helpers_raise_with_typed_payload(self, service_pair):
+        _, client = service_pair
+        request = MapRequest(app="vopd", topology=TopologySpec.parse("mesh:2x2"))
+        with pytest.raises(ServiceError) as excinfo:
+            client.map(request)
+        attached = excinfo.value.response
+        assert isinstance(attached, ErrorResponse)
+        assert attached.error == "ApiError"
+
+    def test_error_results_are_not_cached(self, service_pair):
+        service, client = service_pair
+        request = MapRequest(app="vopd", topology=TopologySpec.parse("mesh:2x2"))
+        ticket = client.submit(request)
+        client.wait(ticket.id, timeout=60)
+        assert service.store.stats()["errors_uncached"] >= 1
+        assert service.store.get(ticket.keys[0]) is None
+
+    def test_worker_crash_surfaces_as_batch_error_504(
+        self, make_service, monkeypatch
+    ):
+        # The PR-6 chaos hook: the process worker hard-exits on this tag;
+        # run_batch retries, the crash repeats, and the slot reports a
+        # typed BatchError that must survive the HTTP round trip as a 504.
+        monkeypatch.setenv("REPRO_CRASH_TAG", "crashme")
+        _, client = make_service(executor="process", timeout=60.0)
+        request = MapRequest(app="vopd", price_bandwidth=False, tag="crashme")
+        ticket = client.submit(request)
+        response = client.wait(ticket.id, timeout=120)
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "BatchError"
+        assert "died" in response.message
+        status, _ = client._request("GET", f"/v1/jobs/{ticket.id}/result")
+        assert status == 504
+
+
+class TestDrain:
+    def test_drain_finishes_accepted_work_and_refuses_new(
+        self, make_service, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "drainslow")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "0.8")
+        service, client = make_service(workers=1)
+        ticket = client.submit(small_sim(rate=0.02, tag="drainslow"))
+        assert wait_for(lambda: client.status(ticket.id)["status"] == "running")
+        service.request_shutdown()
+        with pytest.raises(ServiceError, match="503"):
+            client.submit(small_sim(rate=0.09))
+        service.shutdown(timeout=120)
+        # Nothing dropped: the accepted job completed and persisted.
+        job = service.registry.get(ticket.id)
+        assert job is not None and job.status == "done"
+        assert job.slots[0].kind == "sim-response"
+        assert service.store.get(ticket.keys[0]) is not None
+
+    def test_health_reports_draining(self, make_service, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "drainslow2")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "0.8")
+        service, client = make_service(workers=1)
+        ticket = client.submit(small_sim(rate=0.021, tag="drainslow2"))
+        assert wait_for(lambda: client.status(ticket.id)["status"] == "running")
+        service.request_shutdown()
+        assert client.health()["status"] == "draining"
+        service.shutdown(timeout=120)
+
+
+class TestClientTransport:
+    def test_unreachable_server_is_a_service_error(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_non_http_scheme_rejected(self):
+        with pytest.raises(ServiceError, match="http://"):
+            ServiceClient("https://example.invalid")
+
+    def test_bare_host_port_gets_a_scheme(self, service_pair):
+        service, _ = service_pair
+        client = ServiceClient(f"127.0.0.1:{service.port}")
+        assert client.health()["status"] in ("ok", "draining")

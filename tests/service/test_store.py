@@ -1,0 +1,179 @@
+"""The content-addressed store's contracts, failure paths first.
+
+Covers the satellite checklist explicitly: corrupted/truncated entries
+fall back to recompute (never crash), concurrent writers of one key leave
+one valid entry (atomic rename), a schema-version bump invalidates old
+entries, and the in-flight protocol executes a stampede exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.store import ResultStore
+
+KEY = "ab" + "cd" * 31  # 64 hex chars, like a real SHA-256 key
+
+
+def entry_bytes(tag: str = "x") -> bytes:
+    return (
+        json.dumps({"kind": "map-response", "tag": tag}, sort_keys=True) + "\n"
+    ).encode()
+
+
+class TestBasicTier:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        store.put(KEY, entry_bytes())
+        assert store.get(KEY) == entry_bytes()
+
+    def test_entries_are_schema_namespaced_and_sharded(self, tmp_path):
+        store = ResultStore(tmp_path, schema_version=1)
+        store.put(KEY, entry_bytes())
+        path = store.path_for(KEY)
+        assert path.exists()
+        assert path.parent.name == KEY[:2]
+        assert path.parent.parent.name == "v1"
+
+    def test_schema_bump_invalidates_old_entries(self, tmp_path):
+        ResultStore(tmp_path, schema_version=1).put(KEY, entry_bytes())
+        bumped = ResultStore(tmp_path, schema_version=2)
+        assert bumped.get(KEY) is None
+        # The old namespace is untouched — a rollback still reads it.
+        assert ResultStore(tmp_path, schema_version=1).get(KEY) == entry_bytes()
+
+    def test_persistence_across_store_instances(self, tmp_path):
+        ResultStore(tmp_path).put(KEY, entry_bytes())
+        assert ResultStore(tmp_path).get(KEY) == entry_bytes()
+
+    def test_memory_store_has_no_paths_but_same_semantics(self):
+        store = ResultStore(None)
+        with pytest.raises(ValueError):
+            store.path_for(KEY)
+        store.put(KEY, entry_bytes())
+        assert store.get(KEY) == entry_bytes()
+
+
+class TestCorruptionFallback:
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"",  # zero-length file
+            b'{"kind": "map-resp',  # truncated mid-write
+            b"\x00\xff\x17 not json at all",
+            b'["a", "list", "not", "an", "object"]',
+            b'{"no_kind_field": true}',
+        ],
+    )
+    def test_bad_entry_reads_as_miss_and_is_dropped(self, tmp_path, garbage):
+        store = ResultStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(garbage)
+        assert store.get(KEY) is None
+        assert not path.exists()
+        assert store.stats()["corrupt_dropped"] == 1
+
+    def test_corrupt_entry_recomputes_and_repairs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"garbage{{{")
+        data, origin = store.get_or_compute(KEY, lambda: (entry_bytes(), True))
+        assert origin == "computed"
+        assert data == entry_bytes()
+        assert store.get(KEY) == entry_bytes()  # repaired on disk
+
+
+class TestAtomicWrites:
+    def test_concurrent_writers_produce_one_valid_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def write():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    store.put(KEY, entry_bytes())
+            except BaseException as exc:  # noqa: BLE001 — recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert store.get(KEY) == entry_bytes()
+        # No temp droppings, exactly one entry file.
+        files = list(store.path_for(KEY).parent.iterdir())
+        assert files == [store.path_for(KEY)]
+
+
+class TestInFlightDedup:
+    def test_stampede_executes_once_and_bytes_match(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+        barrier = threading.Barrier(10)
+        results: list[bytes] = []
+        lock = threading.Lock()
+
+        def compute():
+            calls.append(1)
+            return entry_bytes("computed-once"), True
+
+        def submit():
+            barrier.wait()
+            data, _ = store.get_or_compute(KEY, compute)
+            with lock:
+                results.append(data)
+
+        threads = [threading.Thread(target=submit) for _ in range(10)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(calls) == 1
+        assert len(set(results)) == 1 and len(results) == 10
+        assert store.stats()["executed"] == 1
+
+    def test_error_results_reach_waiters_but_are_not_persisted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        state, _ = store.claim(KEY)
+        assert state == "owned"
+        waited: list[bytes | None] = []
+        thread = threading.Thread(target=lambda: waited.append(store.wait(KEY, 10)))
+        thread.start()
+        error = (
+            json.dumps({"kind": "error-response", "error": "BatchError"}) + "\n"
+        ).encode()
+        store.publish(KEY, error, cache=False)
+        thread.join(timeout=30)
+        assert waited == [error]
+        assert store.get(KEY) is None  # next submission recomputes
+        assert store.stats()["errors_uncached"] == 1
+
+    def test_abandon_wakes_waiters_with_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim(KEY)[0] == "owned"
+        waited: list[bytes | None] = []
+        thread = threading.Thread(target=lambda: waited.append(store.wait(KEY, 10)))
+        thread.start()
+        store.abandon(KEY)
+        thread.join(timeout=30)
+        assert waited == [None]
+        # The key is claimable again.
+        assert store.claim(KEY)[0] == "owned"
+
+    def test_claim_after_publish_is_a_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim(KEY)[0] == "owned"
+        store.publish(KEY, entry_bytes())
+        state, data = store.claim(KEY)
+        assert state == "hit"
+        assert data == entry_bytes()

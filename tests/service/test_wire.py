@@ -1,0 +1,93 @@
+"""Wire-format dispatch, canonical bytes, and error -> status mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ErrorResponse, MapRequest, SimRequest, run_map
+from repro.service.wire import (
+    canonical_response_bytes,
+    parse_request,
+    parse_response,
+    status_for_error,
+)
+from repro.errors import ApiError
+
+
+class TestParseRequest:
+    def test_dispatches_map_and_sim(self):
+        map_request = MapRequest(app="vopd")
+        sim_request = SimRequest(map_request=map_request)
+        assert parse_request(map_request.to_dict()) == map_request
+        assert parse_request(sim_request.to_dict()) == sim_request
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "map-request",
+            {"kind": "map-response"},
+            {"kind": "mystery"},
+            {},
+        ],
+    )
+    def test_rejects_non_requests(self, payload):
+        with pytest.raises(ApiError):
+            parse_request(payload)
+
+    def test_payload_validation_errors_surface_as_api_error(self):
+        payload = MapRequest(app="vopd").to_dict()
+        payload["mapper"] = "no-such-mapper"
+        with pytest.raises(ApiError):
+            parse_request(payload)
+
+
+class TestParseResponse:
+    def test_round_trips_every_kind(self):
+        request = MapRequest(app="vopd", price_bandwidth=False)
+        map_response = run_map(request)
+        error = ErrorResponse(request=request, error="FaultError", message="boom")
+        for response in (map_response, error):
+            assert parse_response(response.to_dict()) == response
+
+    def test_rejects_requests_and_unknowns(self):
+        with pytest.raises(ApiError):
+            parse_response(MapRequest(app="vopd").to_dict())
+        with pytest.raises(ApiError):
+            parse_response({"kind": "nope"})
+
+
+class TestCanonicalBytes:
+    def test_compact_sorted_newline_terminated(self):
+        request = MapRequest(app="vopd", price_bandwidth=False)
+        data = canonical_response_bytes(run_map(request))
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        text = data.decode()
+        assert ": " not in text and ", " not in text
+        # Canonical means deterministic: same payload, same bytes.
+        assert data == canonical_response_bytes(run_map(request))
+        # And parseable back to the same typed payload.
+        assert parse_response(json.loads(data)).to_dict() == run_map(request).to_dict()
+
+
+class TestStatusForError:
+    @pytest.mark.parametrize(
+        ("error", "status"),
+        [
+            (None, 200),
+            ("ApiError", 400),
+            ("BatchError", 504),
+            ("FaultError", 422),
+            ("MappingError", 422),
+            ("RoutingError", 422),
+            ("SimulationError", 422),
+            ("SolverError", 422),
+            ("TypeError", 500),
+            ("SomethingNovel", 500),
+        ],
+    )
+    def test_mapping(self, error, status):
+        assert status_for_error(error) == status
