@@ -33,6 +33,7 @@ bench-smoke:
 # and the engine/traffic plumbing stay wired up.
 smoke:
 	$(PYTHON) examples/quickstart.py
+	$(PYTHON) -m repro.cli list-engines
 	$(PYTHON) -m repro.cli map --app vopd --topology torus:4x4
 	$(PYTHON) -m repro.cli simulate --app dsp --engine event --traffic uniform \
 		--injection-rate 0.05 --vcs 2 --cycles 2000

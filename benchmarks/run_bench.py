@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import random
 import statistics
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro import fastpath
@@ -218,13 +220,106 @@ def _saturation_network_factory(smoke: bool):
     return make, {"cycles_per_round": config.total_cycles, "load": 0.30}
 
 
+@contextmanager
+def _no_jit():
+    """Pin the interpreted vector loops regardless of available backends."""
+    prior = os.environ.get("REPRO_NO_JIT")
+    os.environ["REPRO_NO_JIT"] = "1"
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_NO_JIT", None)
+        else:
+            os.environ["REPRO_NO_JIT"] = prior
+
+
 def bench_simulate_vopd_saturation(smoke: bool):
-    """Vector engine vs the seed's cycle loop at saturation (guarded)."""
+    """Interpreted vector engine vs the seed's cycle loop at saturation.
+
+    JIT is forced off so this kernel keeps measuring the structure-of-
+    arrays tier itself — the floor below guards the fallback every machine
+    can run.  The compiled tier has its own kernel
+    (``simulate_vopd_saturation_jit``) with a much higher floor.
+    """
     make, extra = _saturation_network_factory(smoke)
     def kernel():
         engine = "vector" if fastpath.fast_paths_enabled() else "cycle"
-        return make(engine)()
+        with _no_jit():
+            return make(engine)()
     return kernel, {**extra, "engines": "vector-vs-cycle"}
+
+
+def bench_simulate_vopd_saturation_jit(smoke: bool):
+    """Compiled kernel tier vs the seed's cycle loop at saturation (guarded).
+
+    The fast side is the vector engine on whichever JIT backend resolves
+    (numba, or the C kernels on a bare system compiler); the baseline is
+    the seed's scalar cycle loop.  ``jit.warmup()`` runs in the factory so
+    the timed rounds never include compilation.  On a machine with no
+    backend at all this degrades to re-measuring the interpreted tier.
+    """
+    from repro.simnoc.engines import jit
+
+    make, extra = _saturation_network_factory(smoke)
+    backend_name, _ = jit.warmup()
+    def kernel():
+        engine = "vector" if fastpath.fast_paths_enabled() else "cycle"
+        return make(engine)()
+    return kernel, {
+        **extra, "engines": "jit-vector-vs-cycle", "jit_backend": backend_name
+    }
+
+
+def bench_latency_sweep_replica_batch(smoke: bool):
+    """One batched kernel invocation vs per-point vector runs (documented).
+
+    Sixteen ``latency_sweep``-shaped points advance together through
+    ``run_batch(executor="replica")`` on the fast side and one at a time
+    (``executor="serial"``, same vector engine, same JIT backend) on the
+    baseline side — so the ratio isolates what replica batching itself
+    buys.  Expect ≈ 1.0x: with the compiled kernels a sweep point is
+    dominated by the Python flatten/report around the call, and replica
+    batching moves zero bytes (``advance_batch`` takes per-replica
+    pointers), so it saves only R-1 microsecond-scale ctypes invocations.
+    The mapping behind the points comes from the request cache on both
+    sides (warmed by the untimed round).  Byte-identity of the two
+    executors is regression-tested in ``tests/api/test_engine.py``.
+    """
+    from repro.api import MapRequest, SimOptions, SimRequest, TopologySpec
+    from repro.api.engine import run_batch
+    from repro.simnoc.engines import jit
+
+    backend_name, _ = jit.warmup()
+    base_map = MapRequest(
+        app="vopd",
+        mapper="nmap",
+        topology=TopologySpec.parse("mesh:4x4", link_bandwidth=6400.0),
+        price_bandwidth=False,
+    )
+    requests = [
+        SimRequest(
+            map_request=base_map,
+            measure_cycles=600 if smoke else 2_500,
+            warmup_cycles=200,
+            drain_cycles=400,
+            sim_seed=11,
+            options=SimOptions(
+                engine="vector", traffic="uniform", injection_rate=round(rate, 3)
+            ),
+        )
+        for rate in (0.02 + 0.02 * i for i in range(16))
+    ]
+
+    def kernel():
+        executor = "replica" if fastpath.fast_paths_enabled() else "serial"
+        return run_batch(requests, executor=executor)
+
+    return kernel, {
+        "points": len(requests),
+        "engines": "replica-vs-serial-vector",
+        "jit_backend": backend_name,
+    }
 
 
 def bench_simulate_vopd_saturation_event(smoke: bool):
@@ -247,7 +342,9 @@ def bench_simulate_vopd_saturation_active_set(smoke: bool):
     The harness's baseline mode normally disables fast paths (the seed
     reference); this kernel instead pins the cycle engine's own production
     configuration on both sides, so the reported speedup is the honest
-    engine-vs-engine margin rather than engine-plus-fastpath.
+    engine-vs-engine margin rather than engine-plus-fastpath.  The vector
+    side runs its production configuration too — the compiled kernel tier
+    when a JIT backend resolves, the interpreted loops otherwise.
     """
     make, extra = _saturation_network_factory(smoke)
     def kernel():
@@ -266,8 +363,10 @@ KERNELS = {
     "simulate_vopd_low_load": bench_simulate_vopd_low_load,
     "simulate_dsp_low_load": bench_simulate_dsp_low_load,
     "simulate_vopd_saturation": bench_simulate_vopd_saturation,
+    "simulate_vopd_saturation_jit": bench_simulate_vopd_saturation_jit,
     "simulate_vopd_saturation_event": bench_simulate_vopd_saturation_event,
     "simulate_vopd_saturation_active_set": bench_simulate_vopd_saturation_active_set,
+    "latency_sweep_replica_batch": bench_latency_sweep_replica_batch,
 }
 
 #: Guarded speedup floors: kernels named here fail the run (under
@@ -279,6 +378,7 @@ KERNELS = {
 #: vectorization — fails loudly.
 FLOORS = {
     "simulate_vopd_saturation": 2.5,
+    "simulate_vopd_saturation_jit": 12.0,
     "simulate_vopd_low_load": 5.0,
     "simulate_dsp_low_load": 2.0,
     "comm_cost_vopd": 2.0,
@@ -292,10 +392,18 @@ FLOORS = {
 UNGUARDED = {
     "simulate_vopd_saturation_event",
     "simulate_vopd_saturation_active_set",
+    "latency_sweep_replica_batch",
 }
 
 
 def run_benches(smoke: bool, rounds: int) -> dict:
+    # Compile whatever kernel backend resolves before any clock starts, so
+    # no kernel's first timed round ever includes compilation.
+    from repro.simnoc.engines import jit
+
+    backend_name, backend_reason = jit.warmup()
+    print(f"jit backend: {backend_name} ({backend_reason})")
+
     results: dict[str, dict] = {}
     for name, factory in KERNELS.items():
         kernel, extra = factory(smoke)

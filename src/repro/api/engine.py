@@ -53,8 +53,9 @@ from repro.mapping.base import Mapping, MappingResult
 from repro.metrics.bandwidth import min_bandwidth_min_path, min_bandwidth_split
 from repro.routing.dimension_ordered import xy_routing
 from repro.routing.min_path import min_path_routing
-from repro.simnoc import SimConfig, simulate_mapping, simulate_synthetic
-from repro.simnoc.simulator import SimulationReport
+from repro.simnoc import SimConfig
+from repro.simnoc.network import build_network, build_synthetic_network
+from repro.simnoc.simulator import SimulationReport, Simulator
 
 
 def resolve_app(spec: str | dict) -> CoreGraph:
@@ -240,14 +241,13 @@ def _cached_execute_map(request: MapRequest) -> tuple[NoCTopology, MappingResult
     return value
 
 
-def run_sim(request: SimRequest) -> SimResponse:
-    """Execute one simulation request (map, route, simulate, summarize).
+def _prepare_sim(request: SimRequest):
+    """Map, route and build the simulator for a request — without running it.
 
-    Every RNG stream of the run derives from the request's own seeds
-    (``sim_seed`` for traffic, the map request's ``seed`` for stochastic
-    mappers) plus a stable per-component stream index — never from shared
-    global state — so the response is a pure function of the request
-    regardless of batch worker counts (see :func:`run_batch`).
+    Returns ``(simulator, map_response)``.  :func:`run_sim` is this plus
+    ``simulator.run()``; the ``replica`` batch executor splits the two so
+    it can advance many prepared simulators in one compiled kernel call
+    (:func:`repro.simnoc.engines.vector.run_replicas`).
     """
     options = request.options
     topology, result = _cached_execute_map(request.map_request)
@@ -308,28 +308,35 @@ def run_sim(request: SimRequest) -> SimResponse:
                 else:  # "min-path" or the "auto" default
                     routing = min_path_routing(topology, commodities)
                 _routing_cache.put(routing_key, routing)
-        report = simulate_mapping(
-            sim_topology, commodities, routing, config, engine=options.engine
-        )
+        network = build_network(sim_topology, commodities, routing, config)
     else:
         # Synthetic patterns drive the mapped topology directly (XY
         # routes); the mapper still runs because the response contract
         # always carries a map_response describing the fabric under test —
         # callers sweeping synthetic load should pair these requests with a
         # cheap mapper (the default nmap maps VOPD in ~2 ms).
-        report = simulate_synthetic(
-            topology,
-            config,
-            options.traffic,
-            options.injection_rate,
-            engine=options.engine,
+        network = build_synthetic_network(
+            topology, config, options.traffic, options.injection_rate
         )
     # Bandwidth pricing is skipped here regardless of the map request's
     # flag: the simulation itself is the bandwidth evidence.
     map_response = _build_map_response(
         request.map_request, topology, result, price_bandwidth=False
     )
-    return _build_sim_response(request, map_response, report)
+    return Simulator(network, engine=options.engine), map_response
+
+
+def run_sim(request: SimRequest) -> SimResponse:
+    """Execute one simulation request (map, route, simulate, summarize).
+
+    Every RNG stream of the run derives from the request's own seeds
+    (``sim_seed`` for traffic, the map request's ``seed`` for stochastic
+    mappers) plus a stable per-component stream index — never from shared
+    global state — so the response is a pure function of the request
+    regardless of batch worker counts (see :func:`run_batch`).
+    """
+    simulator, map_response = _prepare_sim(request)
+    return _build_sim_response(request, map_response, simulator.run())
 
 
 def _build_sim_response(
@@ -383,7 +390,7 @@ def run(request: MapRequest | SimRequest) -> MapResponse | SimResponse:
 
 
 #: Executors ``run_batch`` can fan out over.
-BATCH_EXECUTORS = ("serial", "thread", "process")
+BATCH_EXECUTORS = ("serial", "thread", "process", "replica")
 
 #: Environment hooks for chaos testing the batch engine itself.  When a
 #: request's tag matches ``REPRO_CRASH_TAG``, the worker hard-exits before
@@ -459,6 +466,74 @@ def _guarded_run(
     return response
 
 
+def _run_replica_batch(
+    requests: list[MapRequest | SimRequest],
+) -> list[MapResponse | SimResponse | ErrorResponse]:
+    """The ``executor="replica"`` path: batch vector sims into one kernel call.
+
+    Every sim request whose resolved engine is the vector engine is
+    prepared (map, route, network build) up front, then all of them
+    advance together through
+    :func:`repro.simnoc.engines.vector.run_replicas` — one compiled
+    ``advance_batch`` invocation per router model when a JIT backend is
+    available, bit-identical interpreted fallback otherwise.  Map
+    requests and sims pinned to other engines run in-process exactly as
+    the serial executor would, so the response list is byte-identical to
+    ``executor="serial"`` in every slot, in request order.
+    """
+    from repro.simnoc.engines.auto import resolve_auto_engine
+    from repro.simnoc.engines.vector import run_replicas
+
+    results: list = [None] * len(requests)
+    prepared: list[tuple[int, SimRequest, Simulator, MapResponse]] = []
+    for index, request in enumerate(requests):
+        if not isinstance(request, SimRequest):
+            results[index] = _guarded_run(request, None)
+            continue
+        _inject_batch_chaos(request)
+        try:
+            simulator, map_response = _prepare_sim(request)
+            engine = simulator.engine_name
+            if engine == "auto":
+                engine = resolve_auto_engine(simulator.network)
+        except Exception as exc:  # noqa: BLE001 — slot isolation, as serial
+            results[index] = ErrorResponse(
+                request=request, error=type(exc).__name__, message=str(exc)
+            )
+            continue
+        if engine != "vector":
+            # Pinned to cycle/event (or auto resolved there): the replica
+            # kernel cannot batch it, so the slot runs like a serial one.
+            try:
+                report = simulator.run()
+                results[index] = _build_sim_response(request, map_response, report)
+            except Exception as exc:  # noqa: BLE001
+                results[index] = ErrorResponse(
+                    request=request, error=type(exc).__name__, message=str(exc)
+                )
+            continue
+        prepared.append((index, request, simulator, map_response))
+
+    if prepared:
+        errors = run_replicas([simulator for _, _, simulator, _ in prepared])
+        for (index, request, simulator, map_response), error in zip(
+            prepared, errors
+        ):
+            if error is not None:
+                results[index] = ErrorResponse(
+                    request=request, error=type(error).__name__, message=str(error)
+                )
+                continue
+            try:
+                report = simulator._build_report()
+                results[index] = _build_sim_response(request, map_response, report)
+            except Exception as exc:  # noqa: BLE001
+                results[index] = ErrorResponse(
+                    request=request, error=type(exc).__name__, message=str(exc)
+                )
+    return results
+
+
 def run_batch(
     requests: list[MapRequest | SimRequest],
     workers: int | None = None,
@@ -494,10 +569,17 @@ def run_batch(
             and degrades to serial execution for empty/singleton batches.
         executor: ``"serial"`` (in-process, no pool — the reference
             executor), ``"thread"`` (default; fine for numpy/LP-bound
-            mapping jobs) or ``"process"`` (true multi-core for
+            mapping jobs), ``"process"`` (true multi-core for
             Python-bound jobs — high-load simulation sweeps above all;
             requests and responses cross the process boundary as pickled
-            frozen payloads).
+            frozen payloads) or ``"replica"`` (in-process; sim requests
+            resolving to the vector engine advance together in one
+            compiled kernel invocation per router model — the fastest
+            shape for a ``latency_sweep`` when a JIT backend is
+            available — while every other slot runs serially.  Responses
+            stay byte-identical to ``"serial"``.  Incompatible with
+            ``timeout``; ``workers``/``retries``/``isolate`` are pool
+            parameters and have no effect).
         timeout: per-request wall-clock budget in seconds; None disables.
             Pool executors stop waiting on a late slot (its worker finishes
             in the background); the serial executor detects the overrun
@@ -523,6 +605,13 @@ def run_batch(
         raise ApiError(f"timeout must be positive, got {timeout}")
     if retries < 0:
         raise ApiError(f"retries must be >= 0, got {retries}")
+    if executor == "replica":
+        if timeout is not None:
+            raise ApiError(
+                "the replica executor advances every slot in one shared "
+                "kernel invocation; per-request timeouts are not supported"
+            )
+        return _run_replica_batch(requests)
     if not requests:
         return []
     if workers is None:

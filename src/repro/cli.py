@@ -138,6 +138,24 @@ def _cmd_list_mappers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_engines(_args: argparse.Namespace) -> int:
+    from repro.simnoc.engines import jit
+    from repro.simnoc.engines.base import get_engine
+
+    print("simulation engines:")
+    for name in list_engines():
+        doc = (type(get_engine(name)).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:8s} available   {summary}")
+    backend, reason = jit.resolve_backend()
+    active = backend.name if backend is not None else "none"
+    print(f"vector-engine kernel backends (active: {active}; {reason}):")
+    for row in jit.available_backends():
+        status = "available  " if row["available"] else "unavailable"
+        print(f"  {row['name']:8s} {status} {row['reason']}")
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     response = run_map(_map_request(args, faults=_fault_spec(args)))
     spec = response.topology
@@ -364,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-apps", help="list built-in application core graphs")
     sub.add_parser("list-mappers", help="list registered mapping algorithms")
+    sub.add_parser(
+        "list-engines",
+        help="list simulation engines and JIT kernel backend availability",
+    )
 
     mappers = list_mappers()
 
@@ -451,8 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list_engines(),
         help=(
             "simulation backend: cycle (bit-exact reference), event "
-            "(skips idle time), vector (structure-of-arrays, fastest at "
-            "high load) or auto (event at low load, vector at high load)"
+            "(skips idle time), vector (structure-of-arrays; runs on a "
+            "compiled numba/C kernel when one is available — see "
+            "'list-engines', disable with REPRO_NO_JIT=1) or auto "
+            "(event at low load, vector at high load; the crossover "
+            "drops when a compiled kernel is available)"
         ),
     )
     p_sim.add_argument(
@@ -625,6 +650,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list-apps": _cmd_list_apps,
         "list-mappers": _cmd_list_mappers,
+        "list-engines": _cmd_list_engines,
         "map": _cmd_map,
         "simulate": _cmd_simulate,
         "design": _cmd_design,

@@ -15,7 +15,9 @@ equivalence suite under ``tests/properties`` pins that — so the choice
 affects wall-clock only.  Every point is a :class:`~repro.api.SimRequest`
 through ``run_batch``, like every other experiment; the mapper run behind
 the points is computed once and shared via the request cache, and
-``executor="process"`` scales a sweep across cores.
+``executor="process"`` scales a sweep across cores — or
+``executor="replica"`` advances all the vector-engine points in a single
+compiled kernel invocation when a JIT backend is available.
 """
 
 from __future__ import annotations
@@ -49,7 +51,10 @@ def run_latency_sweep(
             event at low load, vector at high load, per point).
         num_vcs: virtual channels per link (1 = the paper's router).
         workers: worker count for the request batch.
-        executor: ``"thread"`` or ``"process"`` (multi-core sweeps).
+        executor: ``"thread"``, ``"process"`` (multi-core sweeps) or
+            ``"replica"`` — all vector-engine points advance together in
+            one compiled kernel invocation (fastest with a JIT backend;
+            see ``repro.simnoc.engines.jit``), byte-identical results.
         service_url: when set, the sweep is submitted as one batch job to
             a running ``repro serve`` instance instead of executing
             locally — same requests, same typed responses, but the

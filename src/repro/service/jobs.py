@@ -217,6 +217,16 @@ class JobRunner:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
+        # Compile the resolved kernel backend (if any) before accepting
+        # work, so the first simulation request never pays compilation
+        # latency.  A broken toolchain must not stop the service — the
+        # vector engine falls back to its interpreted loops anyway.
+        try:
+            from repro.simnoc.engines import jit
+
+            jit.warmup()
+        except Exception:  # noqa: BLE001 — warm-up is an optimization only
+            pass
         for index in range(self._workers):
             thread = threading.Thread(
                 target=self._worker, name=f"repro-service-worker-{index}", daemon=True

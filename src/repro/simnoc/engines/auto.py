@@ -35,6 +35,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: the crossover sits near one flit in flight per node every ~15 cycles.
 AUTO_LOAD_THRESHOLD = 0.06
 
+#: The crossover when a compiled kernel backend is resolved
+#: (:func:`repro.simnoc.engines.jit.resolve_backend`).  The kernel tier
+#: cuts the vector engine's per-busy-cycle cost by another order of
+#: magnitude, so it overtakes event-driven time-skipping at much lighter
+#: load; only nearly-idle networks still favor the event engine.
+AUTO_LOAD_THRESHOLD_JIT = 0.02
+
 
 def offered_load_per_node(network: "Network") -> float:
     """Mean configured offered load across the network, flits/cycle/node.
@@ -53,7 +60,11 @@ def resolve_auto_engine(network: "Network") -> str:
     """The engine name ``auto`` delegates to for this built network."""
     if network.config.effective_router_model not in SUPPORTED_ROUTER_MODELS:
         return "event"
-    if offered_load_per_node(network) >= AUTO_LOAD_THRESHOLD:
+    from repro.simnoc.engines.jit import resolve_backend
+
+    backend, _ = resolve_backend()
+    threshold = AUTO_LOAD_THRESHOLD if backend is None else AUTO_LOAD_THRESHOLD_JIT
+    if offered_load_per_node(network) >= threshold:
         return "vector"
     return "event"
 

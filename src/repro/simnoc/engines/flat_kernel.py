@@ -1,0 +1,397 @@
+"""Builds kernel programs: a :class:`Simulator` flattened to typed arrays.
+
+A :class:`KernelProgram` is the bridge between the object model and the
+compiled kernels in :mod:`repro.simnoc.engines.kernels` (and their C
+mirror).  Building one
+
+1. reuses :class:`repro.simnoc.engines.vector._FlatState` for the wiring
+   flatten (port indexing, credits, routes, freshness guards — the exact
+   arrays the interpreted loops run on), then
+2. *precomputes the entire injection schedule*: every shipped traffic
+   source is open-loop (its packet sequence depends only on the cycle and
+   its own RNG, never on network state), so the builder replays the
+   engines' event-heap loop up front — identical pop order, identical
+   packet ids, identical ``measured`` flags — and freezes the result into
+   per-node flit streams, then
+3. converts everything to int64/float64 numpy arrays in the canonical
+   :data:`ARG_FIELDS` order shared by the Python, numba and C kernels.
+
+After a backend has advanced the program, :meth:`KernelProgram.finish`
+replays the observable effects back onto the model objects (trace events,
+packet injected/delivered cycles, per-NI delivery lists, port counters)
+via ``_FlatState.writeback`` — producing reports and traces bit-identical
+to the interpreted engines.
+
+Batched replicas need no extra plumbing here: the C kernel's
+``advance_batch`` takes one pointer per replica per field (aimed straight
+at each program's arrays) and mutates them in place, so R independent
+networks advance in a single compiled call without copying state in
+either direction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simnoc.engines import kernels
+from repro.simnoc.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnoc.simulator import Simulator
+
+#: Lane bitmasks (``req_vcs``) cap the kernel tier's VC count.
+MAX_KERNEL_VCS = 63
+
+#: Offset-table dimension kinds, one entry per replica in the batch table.
+(
+    KIND_IN,
+    KIND_OUT,
+    KIND_OUTLANE,
+    KIND_NODEP1,
+    KIND_NODE,
+    KIND_QB,
+    KIND_LANE,
+    KIND_PKT,
+    KIND_PKTP1,
+    KIND_ROUTE,
+    KIND_FLIT,
+    KIND_TRACE,
+    KIND_PARAMS,
+    KIND_RESULT,
+) = range(14)
+NUM_KINDS = 14
+
+#: Kernel argument order (must match the Python/numba kernel signatures and
+#: the C kernel's parameter list): name -> offset-table kind.
+ARG_FIELDS = (
+    ("out_rate", KIND_OUT),
+    ("out_cap", KIND_OUT),
+    ("out_tokens", KIND_OUT),
+    ("credits", KIND_OUTLANE),
+    ("in_cap", KIND_IN),
+    ("in_feeder", KIND_IN),
+    ("dest_in", KIND_OUT),
+    ("dest_node", KIND_OUT),
+    ("out_tokey", KIND_OUT),
+    ("owner", KIND_OUTLANE),
+    ("owner_pkt", KIND_OUTLANE),
+    ("rr_in", KIND_OUTLANE),
+    ("vc_rr", KIND_OUT),
+    ("port_owned", KIND_OUT),
+    ("ins_off", KIND_NODEP1),
+    ("ins_val", KIND_IN),
+    ("outs_off", KIND_NODEP1),
+    ("outs_val", KIND_OUT),
+    ("local_in", KIND_NODE),
+    ("node_buf", KIND_NODE),
+    ("node_owned", KIND_NODE),
+    ("active", KIND_NODE),
+    ("in_sweep", KIND_NODE),
+    ("qb_enter", KIND_QB),
+    ("qb_slot", KIND_QB),
+    ("qb_seq", KIND_QB),
+    ("qb_pos", KIND_QB),
+    ("q_head", KIND_LANE),
+    ("q_len", KIND_LANE),
+    ("pkt_create", KIND_PKT),
+    ("pkt_last", KIND_PKT),
+    ("pkt_vcl", KIND_PKT),
+    ("route_off", KIND_PKTP1),
+    ("route_val", KIND_ROUTE),
+    ("ni_off", KIND_NODEP1),
+    ("ni_ptr", KIND_NODE),
+    ("ni_slot", KIND_FLIT),
+    ("ni_seq", KIND_FLIT),
+    ("pkt_injected", KIND_PKT),
+    ("pkt_delivered", KIND_PKT),
+    ("dlv_node", KIND_PKT),
+    ("dlv_slot", KIND_PKT),
+    ("ni_injected", KIND_NODE),
+    ("ni_ejected", KIND_NODE),
+    ("carried", KIND_OUT),
+    ("tr_node", KIND_TRACE),
+    ("tr_tokey", KIND_TRACE),
+    ("tr_slot", KIND_TRACE),
+    ("tr_seq", KIND_TRACE),
+    ("tr_cycle", KIND_TRACE),
+    ("req_stamp", KIND_OUT),
+    ("req_vcs", KIND_OUT),
+    ("params", KIND_PARAMS),
+    ("result", KIND_RESULT),
+)
+
+#: Fields holding float64 data; everything else is int64.
+FLOAT_FIELDS = frozenset({"out_rate", "out_cap", "out_tokens", "credits"})
+
+
+def kernel_unsupported(sim: "Simulator", vc_mode: bool) -> str | None:
+    """Why this run cannot take the kernel tier (``None`` = it can)."""
+    if vc_mode and sim.network.config.num_vcs > MAX_KERNEL_VCS:
+        return f"more than {MAX_KERNEL_VCS} virtual channels"
+    trace = sim.trace
+    if trace is not None and trace.max_events - len(trace.events) <= 0:
+        return "trace recorder already full"
+    return None
+
+
+def _csr(per_node, size: int):
+    off = np.zeros(size + 1, dtype=np.int64)
+    vals: list[int] = []
+    for node in range(size):
+        vals.extend(per_node[node])
+        off[node + 1] = len(vals)
+    return off, np.array(vals, dtype=np.int64)
+
+
+class KernelProgram:
+    """One flattened replica, ready for any kernel backend.
+
+    The array attributes (named by :data:`ARG_FIELDS`) are the kernel's
+    working state; the backend mutates them in place (or copies them back
+    after a batched call).  :meth:`finish` then writes the observable
+    results onto the simulator's model objects.
+    """
+
+    __slots__ = tuple(name for name, _ in ARG_FIELDS) + (
+        "sim",
+        "state",
+        "vc_mode",
+        "trace_cap",
+    )
+
+    def __init__(self, sim: "Simulator", vc_mode: bool) -> None:
+        # Deferred import: vector.py imports this module's consumers.
+        from repro.simnoc.engines.vector import _FlatState
+
+        self.sim = sim
+        self.vc_mode = vc_mode
+        state = _FlatState(sim, vc_mode=vc_mode)
+        self.state = state
+        network = sim.network
+        config = network.config
+        L = state.num_vcs
+
+        # --- precompute the injection schedule (see module docstring) ----
+        measure_start = config.warmup_cycles
+        measure_end = measure_start + config.measure_cycles
+        total_cycles = config.total_cycles
+        sources = network.sources
+        next_packet_id = sim.next_packet_id
+        all_packets_append = sim.all_packets.append
+        # Registration inlined from _FlatState.offer_packet, minus the
+        # per-flit NI deque (the kernel reads flat flit streams instead;
+        # they are expanded vectorized below).
+        resolve_route = state.resolve_route
+        num_vcs = state.num_vcs
+        pkt_objs_append = state.pkt_objs.append
+        pkt_outs_append = state.pkt_outs.append
+        pkt_last_append = state.pkt_last.append
+        pkt_vc_append = state.pkt_vc.append
+        node_slots: list[list[int]] = [[] for _ in range(len(state.local_in))]
+        pkt_create: list[int] = []
+        event_heap = [
+            (source.next_event_cycle, index) for index, source in enumerate(sources)
+        ]
+        heapq.heapify(event_heap)
+        slot = 0
+        while event_heap and event_heap[0][0] < total_cycles:
+            cycle, index = heapq.heappop(event_heap)
+            source = sources[index]
+            for packet in source.packets_for_cycle(cycle, next_packet_id):
+                packet.measured = measure_start <= cycle < measure_end
+                all_packets_append(packet)
+                vc = packet.commodity_index % num_vcs
+                packet.vc = vc
+                pkt_objs_append(packet)
+                pkt_outs_append(resolve_route(packet.path, packet.packet_id))
+                pkt_last_append(packet.num_flits - 1)
+                pkt_vc_append(vc)
+                node_slots[packet.src_node].append(slot)
+                pkt_create.append(cycle)
+                slot += 1
+            heapq.heappush(event_heap, (source.next_event_cycle, index))
+
+        # --- freeze into kernel arrays ------------------------------------
+        i8 = np.int64
+        num_in = len(state.in_cap)
+        num_out = len(state.out_rates)
+        size = len(state.local_in)
+        num_lanes = num_in * L
+        qstride = (max(state.in_cap) if state.in_cap else 1) + 1
+        P = len(state.pkt_objs)
+
+        self.out_rate = state.out_rates
+        self.out_cap = state.out_caps
+        self.out_tokens = state.out_tokens
+        self.credits = np.array(state.credits, dtype=np.float64)
+        self.in_cap = np.array(state.in_cap, dtype=i8)
+        self.in_feeder = np.array(state.in_feeder, dtype=i8)
+        self.dest_in = np.array(state.out_dest_in, dtype=i8)
+        self.dest_node = np.array(state.out_dest_node, dtype=i8)
+        self.out_tokey = np.array(state.out_to_key, dtype=i8)
+        self.owner = np.array(state.owner, dtype=i8)
+        self.owner_pkt = np.array(state.owner_pkt, dtype=i8)
+        self.rr_in = np.array(state.rr_in, dtype=i8)
+        self.vc_rr = np.array(state.vc_rr, dtype=i8)
+        self.port_owned = np.array(state.port_owned, dtype=i8)
+        self.ins_off, self.ins_val = _csr(state.node_ins, size)
+        self.outs_off, self.outs_val = _csr(state.node_outs, size)
+        self.local_in = np.array(state.local_in, dtype=i8)
+        self.node_buf = np.zeros(size, dtype=i8)
+        self.node_owned = np.zeros(size, dtype=i8)
+        self.active = np.zeros(size, dtype=i8)
+        self.in_sweep = np.zeros(size, dtype=i8)
+        self.qb_enter = np.zeros(num_lanes * qstride, dtype=i8)
+        self.qb_slot = np.zeros(num_lanes * qstride, dtype=i8)
+        self.qb_seq = np.zeros(num_lanes * qstride, dtype=i8)
+        self.qb_pos = np.zeros(num_lanes * qstride, dtype=i8)
+        self.q_head = np.zeros(num_lanes, dtype=i8)
+        self.q_len = np.zeros(num_lanes, dtype=i8)
+        self.pkt_create = np.array(pkt_create, dtype=i8)
+        self.pkt_last = np.array(state.pkt_last, dtype=i8)
+        self.pkt_vcl = np.array(state.pkt_vc, dtype=i8)
+        route_off = np.zeros(P + 1, dtype=i8)
+        route_val: list[int] = []
+        for slot in range(P):
+            route_val.extend(state.pkt_outs[slot])
+            route_off[slot + 1] = len(route_val)
+        self.route_off = route_off
+        self.route_val = np.array(route_val, dtype=i8)
+        # Vectorized flit-stream expansion: packet k contributes flits
+        # (k, 0..num_flits-1) at its source node, in creation order.
+        ni_off = np.zeros(size + 1, dtype=i8)
+        slot_parts: list[np.ndarray] = []
+        seq_parts: list[np.ndarray] = []
+        flits_total = 0
+        num_flits_arr = self.pkt_last + 1
+        for node in range(size):
+            slots = np.asarray(node_slots[node], dtype=i8)
+            if len(slots):
+                counts = num_flits_arr[slots]
+                total = int(counts.sum())
+                ends = np.cumsum(counts)
+                slot_parts.append(np.repeat(slots, counts))
+                seq_parts.append(
+                    np.arange(total, dtype=i8) - np.repeat(ends - counts, counts)
+                )
+                flits_total += total
+            ni_off[node + 1] = flits_total
+        self.ni_off = ni_off
+        if slot_parts:
+            self.ni_slot = np.concatenate(slot_parts)
+            self.ni_seq = np.concatenate(seq_parts)
+        else:
+            self.ni_slot = np.zeros(0, dtype=i8)
+            self.ni_seq = np.zeros(0, dtype=i8)
+        self.ni_ptr = ni_off[:-1].copy()
+        self.pkt_injected = np.full(P, -1, dtype=i8)
+        self.pkt_delivered = np.full(P, -1, dtype=i8)
+        self.dlv_node = np.zeros(P, dtype=i8)
+        self.dlv_slot = np.zeros(P, dtype=i8)
+        self.ni_injected = np.zeros(size, dtype=i8)
+        self.ni_ejected = np.zeros(size, dtype=i8)
+        self.carried = np.array(state.carried, dtype=i8)
+        trace = sim.trace
+        if trace is None:
+            trace_cap = 0
+        else:
+            remaining = trace.max_events - len(trace.events)
+            bound = int(
+                sum(
+                    (state.pkt_last[slot] + 1) * len(state.pkt_outs[slot])
+                    for slot in range(P)
+                )
+            )
+            trace_cap = max(0, min(remaining, bound))
+        self.trace_cap = trace_cap
+        self.tr_node = np.zeros(trace_cap, dtype=i8)
+        self.tr_tokey = np.zeros(trace_cap, dtype=i8)
+        self.tr_slot = np.zeros(trace_cap, dtype=i8)
+        self.tr_seq = np.zeros(trace_cap, dtype=i8)
+        self.tr_cycle = np.zeros(trace_cap, dtype=i8)
+        self.req_stamp = np.zeros(num_out, dtype=i8)
+        self.req_vcs = np.zeros(num_out, dtype=i8)
+
+        params = np.zeros(kernels.NUM_PARAMS, dtype=i8)
+        params[0] = total_cycles
+        params[1] = config.router_delay
+        params[2] = L
+        params[3] = qstride
+        params[4] = size
+        params[5] = num_in
+        params[6] = num_out
+        params[7] = P
+        params[8] = trace_cap
+        from repro.simnoc.engines.cycle import DEADLOCK_WINDOW
+
+        params[9] = DEADLOCK_WINDOW
+        params[10] = num_lanes
+        self.params = params
+        self.result = np.zeros(kernels.NUM_RESULTS, dtype=i8)
+
+    # ------------------------------------------------------------------
+    def args(self) -> tuple:
+        """The kernel argument tuple, in :data:`ARG_FIELDS` order."""
+        return tuple(getattr(self, name) for name, _ in ARG_FIELDS)
+
+    # ------------------------------------------------------------------
+    def finish(self, sim: "Simulator") -> None:
+        """Replay the kernel's observable effects onto the model objects.
+
+        Raises:
+            SimulationError: on kernel-detected deadlock (identical message
+                to the interpreted engines; no writeback happens, matching
+                their behavior of raising mid-run).
+        """
+        result = self.result
+        if result[0] == kernels.STATUS_DEADLOCK:
+            raise SimulationError(
+                f"deadlock: no flit moved since cycle {int(result[1])} "
+                f"with {int(result[2])} flits buffered"
+            )
+        state = self.state
+        pkt_objs = state.pkt_objs
+
+        trace = sim.trace
+        tr_count = int(result[4])
+        if trace is not None and tr_count:
+            tr_cycle = self.tr_cycle
+            tr_node = self.tr_node
+            tr_tokey = self.tr_tokey
+            tr_slot = self.tr_slot
+            tr_seq = self.tr_seq
+            trace.events.extend(
+                TraceEvent(
+                    cycle=int(tr_cycle[k]),
+                    node=int(tr_node[k]),
+                    to_key=int(tr_tokey[k]),
+                    packet_id=pkt_objs[tr_slot[k]].packet_id,
+                    flit_sequence=int(tr_seq[k]),
+                )
+                for k in range(tr_count)
+            )
+        if trace is not None and result[5]:
+            trace.truncated = True
+
+        for slot, injected in enumerate(self.pkt_injected.tolist()):
+            if injected >= 0:
+                pkt_objs[slot].injected_cycle = injected
+        for slot, delivered in enumerate(self.pkt_delivered.tolist()):
+            if delivered >= 0:
+                pkt_objs[slot].delivered_cycle = delivered
+        dlv_count = int(result[6])
+        dlv_nodes = self.dlv_node[:dlv_count].tolist()
+        dlv_slots = self.dlv_slot[:dlv_count].tolist()
+        for node, slot in zip(dlv_nodes, dlv_slots):
+            state.delivered[node].append(pkt_objs[slot])
+
+        state.carried = [int(c) for c in self.carried]
+        state.out_tokens = self.out_tokens
+        state.final_refill = int(result[3])
+        state.ni_injected = [int(c) for c in self.ni_injected]
+        state.ni_ejected = [int(c) for c in self.ni_ejected]
+        state.writeback(sim)

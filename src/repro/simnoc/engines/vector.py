@@ -52,6 +52,17 @@ reports *and* identical flit traces to the cycle engine, for both router
 models (``wormhole`` and ``wormhole-vc``), below, at and above saturation.
 The loop structure mirrors the proven active-set variant of the cycle
 engine statement for statement; only the data representation differs.
+
+**JIT tier.** On top of the flattened representation sits a compiled
+kernel tier (:mod:`repro.simnoc.engines.jit`): when a numba or C backend
+is available, ``run`` flattens the whole simulation — including the
+precomputed open-loop injection schedule — into a
+:class:`~repro.simnoc.engines.flat_kernel.KernelProgram` and advances it
+in one compiled call, falling back to the interpreted loops below when no
+backend resolves (or ``REPRO_NO_JIT=1``).  :func:`run_replicas` batches
+many independent simulators into a single compiled invocation per router
+model — the engine-level face of ``run_batch(executor="replica")``.
+Every tier is bit-identical to the cycle engine on reports and traces.
 """
 
 from __future__ import annotations
@@ -88,6 +99,15 @@ class _FlitRef:
         self.sequence = sequence
 
 
+def _reject_unsupported_model(model: str) -> None:
+    if model not in SUPPORTED_ROUTER_MODELS:
+        raise SimulationError(
+            f"vector engine flattens only the built-in router models "
+            f"({', '.join(SUPPORTED_ROUTER_MODELS)}); router model "
+            f"{model!r} must run on the 'cycle' or 'event' engine"
+        )
+
+
 @register_engine("vector")
 class VectorEngine:
     """Structure-of-arrays backend for the built-in wormhole router models."""
@@ -96,18 +116,74 @@ class VectorEngine:
 
     def run(self, sim: "Simulator") -> None:
         model = sim.network.config.effective_router_model
-        if model not in SUPPORTED_ROUTER_MODELS:
-            raise SimulationError(
-                f"vector engine flattens only the built-in router models "
-                f"({', '.join(SUPPORTED_ROUTER_MODELS)}); router model "
-                f"{model!r} must run on the 'cycle' or 'event' engine"
-            )
-        state = _FlatState(sim, vc_mode=(model == "wormhole-vc"))
+        _reject_unsupported_model(model)
+        vc_mode = model == "wormhole-vc"
+
+        from repro.simnoc.engines.flat_kernel import (
+            KernelProgram,
+            kernel_unsupported,
+        )
+        from repro.simnoc.engines.jit import resolve_backend
+
+        backend, _ = resolve_backend()
+        if backend is not None and kernel_unsupported(sim, vc_mode) is None:
+            program = KernelProgram(sim, vc_mode)
+            backend.run([program])
+            program.finish(sim)
+            return
+
+        state = _FlatState(sim, vc_mode=vc_mode)
         if state.vc_mode:
             state.run_vc(sim)
         else:
             state.run_plain(sim)
         state.writeback(sim)
+
+
+def run_replicas(sims: list["Simulator"]) -> list[BaseException | None]:
+    """Advance many independent simulators as one batched kernel call.
+
+    The compiled-replica face of the engine layer: every simulator that
+    the kernel tier supports is flattened to a
+    :class:`~repro.simnoc.engines.flat_kernel.KernelProgram` and the whole
+    set advances in a single ``advance_batch`` invocation per router model
+    present; the rest (no backend resolved, unsupported corner) run
+    one-at-a-time through :class:`VectorEngine`, which is bit-identical.
+
+    Per-slot isolation: one replica deadlocking (or failing to flatten)
+    must not poison its batch-mates, so errors come back positionally —
+    the returned list holds ``None`` for success or the exception for
+    that slot, aligned with ``sims``.  Callers build reports afterwards
+    via each simulator's ``_build_report``.
+    """
+    from repro.simnoc.engines.flat_kernel import (
+        KernelProgram,
+        kernel_unsupported,
+    )
+    from repro.simnoc.engines.jit import resolve_backend
+
+    backend, _ = resolve_backend()
+    errors: list[BaseException | None] = [None] * len(sims)
+    batched: list[tuple[int, KernelProgram]] = []
+    for index, sim in enumerate(sims):
+        try:
+            model = sim.network.config.effective_router_model
+            _reject_unsupported_model(model)
+            vc_mode = model == "wormhole-vc"
+            if backend is None or kernel_unsupported(sim, vc_mode) is not None:
+                VectorEngine().run(sim)
+            else:
+                batched.append((index, KernelProgram(sim, vc_mode)))
+        except SimulationError as exc:
+            errors[index] = exc
+    if batched:
+        backend.run([program for _, program in batched])
+        for index, program in batched:
+            try:
+                program.finish(sims[index])
+            except SimulationError as exc:
+                errors[index] = exc
+    return errors
 
 
 class _FlatState:
@@ -242,11 +318,8 @@ class _FlatState:
         self.final_refill = -1
 
     # ------------------------------------------------------------------
-    def offer_packet(self, packet) -> int:
-        """Register a packet: resolve its route once, queue its flits."""
-        vc = packet.commodity_index % self.num_vcs
-        packet.vc = vc
-        path = packet.path
+    def resolve_route(self, path, packet_id: int) -> list[int]:
+        """The path as flat output-port indices (memoized per path tuple)."""
         key = tuple(path)
         outs = self.route_cache.get(key)
         if outs is None:
@@ -260,10 +333,17 @@ class _FlatState:
                     raise SimulationError(
                         f"node {node} has no output toward "
                         f"{'LOCAL' if to_key == LOCAL else to_key} "
-                        f"(packet {packet.packet_id})"
+                        f"(packet {packet_id})"
                     )
                 outs.append(flat)
             self.route_cache[key] = outs
+        return outs
+
+    def offer_packet(self, packet) -> int:
+        """Register a packet: resolve its route once, queue its flits."""
+        vc = packet.commodity_index % self.num_vcs
+        packet.vc = vc
+        outs = self.resolve_route(packet.path, packet.packet_id)
         slot = len(self.pkt_objs)
         self.pkt_objs.append(packet)
         self.pkt_outs.append(outs)

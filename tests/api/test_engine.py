@@ -159,6 +159,58 @@ class TestProcessExecutor:
         ]
 
 
+class TestReplicaExecutor:
+    """``executor="replica"`` must be a pure transport change too: one
+    batched kernel invocation, byte-identical responses to serial."""
+
+    def _sweep_requests(self, engine="auto"):
+        base_map = MapRequest(
+            app="vopd",
+            mapper="nmap",
+            topology=TopologySpec.parse("mesh:4x4", link_bandwidth=6400.0),
+            price_bandwidth=False,
+        )
+        return [
+            SimRequest(
+                map_request=base_map,
+                measure_cycles=800,
+                warmup_cycles=200,
+                drain_cycles=400,
+                sim_seed=11,
+                options=SimOptions(
+                    engine=engine, traffic="uniform", injection_rate=rate
+                ),
+            )
+            for rate in (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+        ]
+
+    def test_replica_matches_serial_byte_for_byte(self):
+        serial = [r.to_dict() for r in run_batch(self._sweep_requests(),
+                                                 executor="serial")]
+        clear_request_caches()
+        replica = [r.to_dict() for r in run_batch(self._sweep_requests(),
+                                                  executor="replica")]
+        assert replica == serial
+
+    def test_incompatible_slots_fall_back_in_place(self):
+        """Cycle/event-pinned sims and map requests keep their slots and
+        their exact serial payloads around the batched vector ones."""
+        requests = self._sweep_requests(engine="vector")[:2]
+        requests += self._sweep_requests(engine="cycle")[:1]
+        requests.append(MapRequest(app="pip", price_bandwidth=False))
+        serial = [r.to_dict() for r in run_batch(requests, executor="serial")]
+        clear_request_caches()
+        replica = [r.to_dict() for r in run_batch(requests, executor="replica")]
+        assert replica == serial
+
+    def test_timeout_rejected(self):
+        with pytest.raises(ApiError, match="replica"):
+            run_batch(self._sweep_requests(), executor="replica", timeout=5.0)
+
+    def test_empty_batch(self):
+        assert run_batch([], executor="replica") == []
+
+
 class TestRequestCaches:
     """The sweep cache must be invisible in results — only in wall clock."""
 

@@ -371,6 +371,92 @@ class TestAutoEngineEquivalence:
         assert_reports_identical(run("auto"), run("cycle"))
 
 
+class TestKernelTierEquivalence:
+    """Every rung of the JIT ladder is bit-identical to the cycle engine.
+
+    ``off`` pins the interpreted structure-of-arrays loops (what a
+    numba-less, compiler-less machine runs); ``py`` executes the kernel
+    twin as plain Python, so the kernel *algorithm* is property-tested
+    even where no backend compiles; ``c`` and ``numba`` are the compiled
+    rungs, each skipped with a reason where its toolchain is missing.
+    """
+
+    MODES = ("off", "py", "c", "numba")
+
+    @pytest.fixture
+    def jit_mode(self, request, monkeypatch):
+        from repro.simnoc.engines.jit import resolve_backend
+
+        mode = request.param
+        monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+        monkeypatch.setenv("REPRO_JIT", mode)
+        backend, reason = resolve_backend()
+        if mode != "off" and backend is None:
+            pytest.skip(f"JIT backend {mode!r} unavailable here: {reason}")
+        return mode
+
+    @pytest.mark.parametrize("jit_mode", MODES, indirect=True)
+    @pytest.mark.parametrize("num_vcs", [1, 2])
+    def test_reports_and_traces_match_cycle(self, jit_mode, num_vcs):
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=200,
+            measure_cycles=1_200,
+            drain_cycles=400,
+            seed=3,
+            num_vcs=num_vcs,
+            vc_buffer_depth=4 if num_vcs > 1 else None,
+        )
+
+        def run(name):
+            network = build_synthetic_network(mesh, config, "uniform", 0.30)
+            recorder = TraceRecorder(max_events=10**6)
+            report = Simulator(network, trace=recorder, engine=name).run()
+            return report, recorder.events
+
+        fast_report, fast_events = run("vector")
+        ref_report, ref_events = run("cycle")
+        assert_reports_identical(fast_report, ref_report)
+        assert fast_events == ref_events
+
+    @pytest.mark.parametrize("jit_mode", MODES, indirect=True)
+    def test_replica_batch_matches_one_at_a_time(self, jit_mode):
+        """R sims advanced in one batched call == the same R run singly:
+        identical reports, identical traces, positional order kept."""
+        from repro.simnoc.engines.vector import VectorEngine, run_replicas
+
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        # Mixed rates, seeds and router models in one batch.
+        variants = [
+            (rate, seed, num_vcs)
+            for rate, seed in ((0.05, 1), (0.22, 2), (0.40, 3))
+            for num_vcs in (1, 2)
+        ]
+
+        def build(rate, seed, num_vcs):
+            config = SimConfig(
+                warmup_cycles=200,
+                measure_cycles=800,
+                drain_cycles=300,
+                seed=seed,
+                num_vcs=num_vcs,
+                vc_buffer_depth=4 if num_vcs > 1 else None,
+            )
+            network = build_synthetic_network(mesh, config, "uniform", rate)
+            recorder = TraceRecorder(max_events=10**6)
+            return Simulator(network, trace=recorder, engine="vector"), recorder
+
+        batched = [build(*v) for v in variants]
+        errors = run_replicas([sim for sim, _ in batched])
+        assert errors == [None] * len(variants)
+
+        for (sim, recorder), variant in zip(batched, variants):
+            single, single_recorder = build(*variant)
+            VectorEngine().run(single)
+            assert_reports_identical(sim._build_report(), single._build_report())
+            assert recorder.events == single_recorder.events
+
+
 class TestFaultScenarioEquivalence:
     """Fault-injected scenarios run bit-identically on every engine.
 

@@ -1,0 +1,85 @@
+"""The JIT ladder's plumbing: resolution, switches, warm-up hygiene.
+
+Bit-identity of the kernels themselves is property-tested in
+``tests/properties/test_engine_equivalence.py``; this file covers the
+machinery around them — the environment switches, the per-mode resolution
+cache, backend introspection for ``list-engines``, and the warm-up
+contract (a second ``warmup()`` in the same process must compile nothing,
+so benchmark medians and service first-request latency stay clean).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnoc.engines import jit
+
+
+@pytest.fixture(autouse=True)
+def _clean_jit_env(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+
+
+class TestResolution:
+    def test_no_jit_resolves_no_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        backend, reason = jit.resolve_backend()
+        assert backend is None
+        assert "REPRO_NO_JIT" in reason
+
+    def test_no_jit_wins_over_forced_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        monkeypatch.setenv("REPRO_JIT", "py")
+        backend, _ = jit.resolve_backend()
+        assert backend is None
+
+    def test_py_mode_forces_the_kernel_twin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "py")
+        backend, _ = jit.resolve_backend()
+        assert backend is not None
+        assert backend.name == "py"
+
+    def test_unknown_mode_resolves_no_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "fortran")
+        backend, reason = jit.resolve_backend()
+        assert backend is None
+        assert "fortran" in reason
+
+    def test_auto_never_raises(self):
+        backend, reason = jit.resolve_backend()
+        assert reason
+        if backend is not None:
+            assert backend.name in ("numba", "c")
+
+
+class TestIntrospection:
+    def test_rows_cover_every_compiled_rung(self):
+        rows = jit.available_backends()
+        assert [row["name"] for row in rows] == ["numba", "c"]
+        for row in rows:
+            assert isinstance(row["available"], bool)
+            assert row["reason"]
+
+    def test_rows_report_disabled_when_no_jit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        for row in jit.available_backends():
+            assert row["available"] is False
+            assert "REPRO_NO_JIT" in row["reason"]
+
+
+class TestWarmupHygiene:
+    def test_second_warmup_compiles_nothing(self):
+        name, reason = jit.warmup()
+        if name == "none":
+            pytest.skip(f"no compiled backend here: {reason}")
+        before = jit.compile_events()
+        name_again, _ = jit.warmup()
+        assert name_again == name
+        assert jit.compile_events() == before
+
+    def test_warmup_reports_none_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        name, reason = jit.warmup()
+        assert name == "none"
+        assert "REPRO_NO_JIT" in reason

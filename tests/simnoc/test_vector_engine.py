@@ -20,9 +20,11 @@ from repro.simnoc import (
 )
 from repro.simnoc.engines.auto import (
     AUTO_LOAD_THRESHOLD,
+    AUTO_LOAD_THRESHOLD_JIT,
     offered_load_per_node,
     resolve_auto_engine,
 )
+from repro.simnoc.engines.jit import resolve_backend
 from repro.simnoc.models import register_router_model
 
 
@@ -91,13 +93,24 @@ class TestAutoPolicy:
         network = _network(0.08)
         assert offered_load_per_node(network) == pytest.approx(0.08)
 
-    def test_low_load_picks_event(self):
+    def test_low_load_picks_event(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
         network = _network(AUTO_LOAD_THRESHOLD / 3)
         assert resolve_auto_engine(network) == "event"
 
     def test_high_load_picks_vector(self):
         network = _network(AUTO_LOAD_THRESHOLD * 3)
         assert resolve_auto_engine(network) == "vector"
+
+    def test_jit_backend_lowers_the_crossover(self):
+        """With a compiled backend resolved, loads between the two
+        thresholds flip from event to vector; truly idle networks do not."""
+        backend, reason = resolve_backend()
+        if backend is None:
+            pytest.skip(f"no JIT backend here: {reason}")
+        between = (AUTO_LOAD_THRESHOLD_JIT + AUTO_LOAD_THRESHOLD) / 2
+        assert resolve_auto_engine(_network(between)) == "vector"
+        assert resolve_auto_engine(_network(AUTO_LOAD_THRESHOLD_JIT / 2)) == "event"
 
     def test_custom_router_model_falls_back_to_event(self):
         network = _network(AUTO_LOAD_THRESHOLD * 3)
