@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-properties bench-smoke bench smoke fault-smoke serve-smoke
+.PHONY: check test test-properties bench-smoke bench smoke fault-smoke serve-smoke chaos-smoke
 
 # What CI runs on every push: the equivalence property suite first (its own
 # stage, so an engine or fastpath-vs-scalar divergence fails loudly and
@@ -11,7 +11,7 @@ export PYTHONPATH := src
 # run_bench.py); --enforce-floors applies the per-kernel FLOORS on top —
 # together they catch order-of-magnitude regressions without flaking on
 # loaded runners.
-check: test-properties test bench-smoke smoke fault-smoke serve-smoke
+check: test-properties test bench-smoke smoke fault-smoke serve-smoke chaos-smoke
 
 # tests/properties is excluded here only because `check` already ran it in
 # its own stage; run `pytest -x -q` bare for the complete tier-1 sweep.
@@ -60,6 +60,13 @@ fault-smoke:
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) examples/service_quickstart.py
+
+# Crash-durability smoke: SIGKILL a real server mid-batch, restart it on
+# the same store, and prove the write-ahead journal replays the unfinished
+# jobs under their original ids with byte-identical results — then boot
+# past a torn journal tail.
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

@@ -323,6 +323,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         timeout=args.timeout,
+        store_max_bytes=args.store_max_bytes,
+        result_ttl=args.result_ttl,
+        journal_path=args.journal,
+        recover=args.recover,
+        client_quota=args.client_quota,
     )
     service = NocService(config)
     service.serve_forever(install_signals=True, announce=print)
@@ -346,7 +351,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             raise ApiError("submit needs either --json FILE(s) or --app ...")
         requests.append(_map_request(args, faults=_fault_spec(args)))
 
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        retries=args.retries,
+        client_id=args.client_id,
+        priority=args.priority,
+    )
     ticket = client.submit(requests if len(requests) > 1 else requests[0])
     print(f"job {ticket.id} submitted ({ticket.slots} slot(s))", file=sys.stderr)
     if args.no_wait:
@@ -589,6 +600,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-request wall-clock budget in seconds (default: none)",
     )
+    p_serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead job journal path (default: <store>/journal.ndjson "
+        "when --store is set; '' disables journaling)",
+    )
+    p_serve.add_argument(
+        "--recover",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="replay unfinished journaled jobs at startup so a kill -9 "
+        "mid-batch loses nothing (--no-recover starts fresh)",
+    )
+    p_serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="result-store disk cap; least-recently-read entries are "
+        "evicted once the store exceeds it (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--result-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict store entries idle longer than this (default: never)",
+    )
+    p_serve.add_argument(
+        "--client-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max queued/running jobs per client identity (X-Repro-Client "
+        "header); submissions beyond it get HTTP 429 (default: none)",
+    )
 
     p_submit = sub.add_parser(
         "submit", help="submit a request to a running service"
@@ -639,6 +687,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="client-side wait budget in seconds",
+    )
+    p_submit.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts for transport failures and 429/503 rejections, "
+        "with exponential backoff honoring the server's Retry-After "
+        "(safe: submissions dedup on the canonical request key)",
+    )
+    p_submit.add_argument(
+        "--client-id",
+        default=None,
+        help="identity sent as X-Repro-Client (server quotas account "
+        "against it)",
+    )
+    p_submit.add_argument(
+        "--priority",
+        default=None,
+        choices=("low", "normal", "high"),
+        help="X-Repro-Priority class; low is shed first under overload",
     )
     return parser
 

@@ -68,11 +68,28 @@ class ServiceError(ReproError):
     for jobs that completed with a typed failure — in that case the
     worker-side :class:`repro.api.ErrorResponse` payload rides along as
     ``response`` so callers keep the full typed round trip.
+
+    ``retry_after`` carries the server's back-pressure hint in seconds
+    (the ``Retry-After`` header on 429/503 rejections) when one was given;
+    callers that implement their own retry loops should honor it.
     """
 
-    def __init__(self, message: str, response=None) -> None:
+    def __init__(self, message: str, response=None, retry_after=None) -> None:
         super().__init__(message)
         self.response = response
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; the call failed fast.
+
+    After ``breaker_threshold`` consecutive transport failures,
+    :class:`repro.service.client.ServiceClient` stops hammering a server
+    that stays down and fails every call immediately for the cooldown
+    window instead of eating a connect timeout per call.  ``retry_after``
+    is the remaining cooldown in seconds; the first call after it elapses
+    probes the server again (half-open) and closes the breaker on success.
+    """
 
 
 class SimulationError(ReproError):

@@ -28,11 +28,14 @@ Or from the shell: ``repro serve`` / ``repro submit`` (see the CLI).
 
 from repro.service.client import JobTicket, ServiceClient, StreamEvent
 from repro.service.jobs import (
+    PRIORITIES,
     DrainingError,
     JobRegistry,
     JobRunner,
     OverloadedError,
+    QuotaExceededError,
 )
+from repro.service.journal import JobJournal
 from repro.service.server import NocService, ServiceConfig
 from repro.service.store import ResultStore
 from repro.service.wire import (
@@ -43,12 +46,15 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "PRIORITIES",
     "DrainingError",
+    "JobJournal",
     "JobRegistry",
     "JobRunner",
     "JobTicket",
     "NocService",
     "OverloadedError",
+    "QuotaExceededError",
     "ResultStore",
     "ServiceClient",
     "ServiceConfig",

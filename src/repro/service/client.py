@@ -1,4 +1,4 @@
-"""The thin blocking Python client for the job service (stdlib only).
+"""The blocking Python client for the job service (stdlib only).
 
 :class:`ServiceClient` speaks the wire protocol of
 :mod:`repro.service.server` over ``http.client``: submit typed requests,
@@ -9,12 +9,32 @@ surface), stream per-slot NDJSON events, or use the one-call ``map`` /
 :class:`~repro.api.ErrorResponse` for failed slots, which the convenience
 helpers re-raise as :class:`~repro.errors.ServiceError` with the typed
 payload attached.
+
+The transport is production-grade:
+
+* **Timeouts** — a separate connect timeout (fail fast on a dead host)
+  and read timeout (budget for a slow reply) per attempt.
+* **Idempotent retries** — with ``retries > 0``, transport failures
+  (connection refused/reset, dropped mid-reply) and overload rejections
+  (429/503) are retried with exponential backoff plus jitter, honoring
+  the server's ``Retry-After`` hint when one is sent.  Retrying a
+  submission is safe *by construction*: jobs are keyed on the canonical
+  request, so a duplicate submission dedups into the same store entry —
+  exactly-one execution no matter how many retries it took.
+* **Circuit breaker** — after ``breaker_threshold`` consecutive transport
+  failures, calls fail fast with a typed
+  :class:`~repro.errors.CircuitOpenError` for ``breaker_cooldown``
+  seconds instead of each eating a connect timeout; the first call after
+  the cooldown probes the server (half-open) and closes the breaker on
+  success.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
 import time
 import urllib.parse
 from dataclasses import dataclass
@@ -27,8 +47,12 @@ from repro.api.specs import (
     SimRequest,
     SimResponse,
 )
-from repro.errors import ServiceError
+from repro.errors import CircuitOpenError, ServiceError
 from repro.service.wire import RESPONSE_KINDS, parse_response
+
+#: HTTP statuses that are safe and useful to retry: back-pressure
+#: rejections that come with (or imply) a Retry-After.
+RETRY_STATUSES = (429, 503)
 
 Request = MapRequest | SimRequest
 Response = MapResponse | SimResponse | ErrorResponse
@@ -60,9 +84,47 @@ class StreamEvent:
 
 
 class ServiceClient:
-    """Blocking client for one service endpoint (``http://host:port``)."""
+    """Blocking client for one service endpoint (``http://host:port``).
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    Args:
+        base_url: ``http://host:port`` (a bare ``host:port`` is accepted).
+        timeout: per-attempt read budget in seconds.
+        connect_timeout: per-attempt connect budget; defaults to
+            ``timeout``.
+        retries: extra attempts after the first for transport failures and
+            429/503 rejections.  0 (the default) keeps every failure
+            immediate and loud; ``repro submit`` turns retries on.
+        backoff/backoff_max: exponential backoff base and cap in seconds;
+            each delay is jittered to half..full of its nominal value and
+            raised to the server's ``Retry-After`` when one was sent.
+        breaker_threshold: consecutive transport failures that open the
+            circuit breaker; 0 disables the breaker.
+        breaker_cooldown: seconds the breaker stays open; while open,
+            calls raise :class:`~repro.errors.CircuitOpenError` without
+            touching the network.
+        client_id: sent as ``X-Repro-Client`` — the identity the server's
+            per-client quotas account against.
+        priority: sent as ``X-Repro-Priority`` (``low``/``normal``/
+            ``high``) — where this client's work sits in the server's
+            shedding ladder.
+        rng: randomness source for jitter (tests inject a seeded one).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        *,
+        connect_timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.25,
+        backoff_max: float = 8.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 15.0,
+        client_id: str | None = None,
+        priority: str | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
         if "//" not in base_url:
             base_url = "http://" + base_url
         parsed = urllib.parse.urlsplit(base_url)
@@ -75,44 +137,147 @@ class ServiceClient:
         self._host = parsed.hostname
         self._port = parsed.port or 80
         self._timeout = timeout
+        self._connect_timeout = (
+            timeout if connect_timeout is None else connect_timeout
+        )
+        self._retries = max(0, retries)
+        self._backoff = backoff
+        self._backoff_max = backoff_max
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._client_id = client_id
+        self._priority = priority
+        self._rng = rng or random.Random()
+        self._breaker_lock = threading.Lock()
+        self._failures = 0
+        self._open_until = 0.0
 
     @property
     def base_url(self) -> str:
         return f"http://{self._host}:{self._port}"
 
+    # -- circuit breaker ------------------------------------------------
+    def _breaker_preflight(self) -> None:
+        """Fail fast while the breaker is open; allow one half-open probe."""
+        with self._breaker_lock:
+            remaining = self._open_until - time.monotonic()
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit breaker open for service at {self.base_url}: "
+                    f"{self._failures} consecutive transport failures; "
+                    f"retry in {remaining:.1f} s",
+                    retry_after=remaining,
+                )
+            # Past the cooldown: this call is the half-open probe.
+            self._open_until = 0.0
+
+    def _breaker_failure(self) -> None:
+        with self._breaker_lock:
+            self._failures += 1
+            if (
+                self._breaker_threshold > 0
+                and self._failures >= self._breaker_threshold
+            ):
+                self._open_until = time.monotonic() + self._breaker_cooldown
+
+    def _breaker_success(self) -> None:
+        with self._breaker_lock:
+            self._failures = 0
+            self._open_until = 0.0
+
     # -- transport ------------------------------------------------------
     def _open(self) -> http.client.HTTPConnection:
-        return http.client.HTTPConnection(
-            self._host, self._port, timeout=self._timeout
+        """Connect with the connect budget, then switch to the read budget."""
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._connect_timeout
         )
+        connection.connect()
+        if connection.sock is not None:
+            connection.sock.settimeout(self._timeout)
+        return connection
+
+    def _headers(self, body: bytes | None) -> dict[str, str]:
+        headers = {"Connection": "close"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if self._client_id is not None:
+            headers["X-Repro-Client"] = self._client_id
+        if self._priority is not None:
+            headers["X-Repro-Priority"] = self._priority
+        return headers
+
+    def _delay(self, attempt: int, retry_after: str | None) -> float:
+        """Jittered exponential backoff, raised to the server's hint."""
+        nominal = min(self._backoff_max, self._backoff * (2.0 ** attempt))
+        delay = nominal * (0.5 + 0.5 * self._rng.random())
+        if retry_after is not None:
+            try:
+                hinted = float(retry_after)
+            except ValueError:
+                hinted = 0.0
+            delay = max(delay, min(hinted, self._backoff_max))
+        return delay
+
+    def _request_full(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, str | None, bytes]:
+        """One logical request: retries, backoff, breaker accounting.
+
+        Returns ``(status, retry_after_header, body_bytes)``.  Safe to
+        retry for every endpoint: reads are idempotent and submissions
+        dedup on the canonical request key server-side.
+        """
+        attempt = 0
+        while True:
+            self._breaker_preflight()
+            exc: Exception | None = None
+            try:
+                connection = self._open()
+            except (OSError, http.client.HTTPException) as err:
+                exc = err
+            else:
+                try:
+                    connection.request(
+                        method, path, body=body, headers=self._headers(body)
+                    )
+                    reply = connection.getresponse()
+                    status = reply.status
+                    retry_after = reply.getheader("Retry-After")
+                    data = reply.read()
+                except (OSError, http.client.HTTPException) as err:
+                    exc = err
+                finally:
+                    connection.close()
+            if exc is None:
+                self._breaker_success()
+                if status in RETRY_STATUSES and attempt < self._retries:
+                    time.sleep(self._delay(attempt, retry_after))
+                    attempt += 1
+                    continue
+                return status, retry_after, data
+            self._breaker_failure()
+            if attempt >= self._retries:
+                raise ServiceError(
+                    f"cannot reach service at {self.base_url}: {exc}"
+                ) from exc
+            time.sleep(self._delay(attempt, None))
+            attempt += 1
 
     def _request(
         self, method: str, path: str, body: bytes | None = None
     ) -> tuple[int, bytes]:
-        connection = self._open()
-        try:
-            headers = {"Connection": "close"}
-            if body is not None:
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            reply = connection.getresponse()
-            return reply.status, reply.read()
-        except (OSError, http.client.HTTPException) as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc}"
-            ) from exc
-        finally:
-            connection.close()
+        status, _, data = self._request_full(method, path, body)
+        return status, data
 
     def _request_json(
         self, method: str, path: str, payload: dict | None = None
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, str | None]:
         body = (
             None
             if payload is None
             else json.dumps(payload, sort_keys=True).encode("utf-8")
         )
-        status, data = self._request(method, path, body)
+        status, retry_after, data = self._request_full(method, path, body)
         try:
             parsed = json.loads(data)
         except ValueError as exc:
@@ -124,26 +289,38 @@ class ServiceClient:
             raise ServiceError(
                 f"service returned a non-object body for {method} {path}"
             )
-        return status, parsed
+        return status, parsed, retry_after
 
     @staticmethod
-    def _raise_for(status: int, payload: dict, context: str) -> None:
+    def _raise_for(
+        status: int,
+        payload: dict,
+        context: str,
+        retry_after: str | None = None,
+    ) -> None:
+        hint: float | None = None
+        if retry_after is not None:
+            try:
+                hint = float(retry_after)
+            except ValueError:
+                hint = None
         raise ServiceError(
             f"{context}: HTTP {status} "
-            f"{payload.get('error', 'error')}: {payload.get('message', '')}"
+            f"{payload.get('error', 'error')}: {payload.get('message', '')}",
+            retry_after=hint,
         )
 
     # -- introspection --------------------------------------------------
     def health(self) -> dict:
-        status, payload = self._request_json("GET", "/v1/health")
+        status, payload, retry_after = self._request_json("GET", "/v1/health")
         if status != 200:
-            self._raise_for(status, payload, "health check failed")
+            self._raise_for(status, payload, "health check failed", retry_after)
         return payload
 
     def mappers(self) -> list[dict]:
-        status, payload = self._request_json("GET", "/v1/mappers")
+        status, payload, retry_after = self._request_json("GET", "/v1/mappers")
         if status != 200:
-            self._raise_for(status, payload, "mapper listing failed")
+            self._raise_for(status, payload, "mapper listing failed", retry_after)
         return payload["mappers"]
 
     # -- job lifecycle --------------------------------------------------
@@ -153,7 +330,12 @@ class ServiceClient:
         Raises:
             ServiceError: transport failure, malformed payload (400),
                 overload (429) or draining (503) rejections — the message
-                carries the server's error class and text.
+                carries the server's error class and text, and
+                ``retry_after`` the server's back-off hint when one was
+                sent.  With ``retries`` set, 429/503 and transport
+                failures are retried (idempotent: submissions dedup on
+                the canonical request key) before this is raised.
+            CircuitOpenError: the breaker is open; nothing was sent.
         """
         if isinstance(requests, (MapRequest, SimRequest)):
             payload: dict = requests.to_dict()
@@ -161,9 +343,11 @@ class ServiceClient:
             if not requests:
                 raise ServiceError("cannot submit an empty batch")
             payload = {"requests": [request.to_dict() for request in requests]}
-        status, reply = self._request_json("POST", "/v1/jobs", payload)
+        status, reply, retry_after = self._request_json(
+            "POST", "/v1/jobs", payload
+        )
         if status != 202:
-            self._raise_for(status, reply, "submission rejected")
+            self._raise_for(status, reply, "submission rejected", retry_after)
         return JobTicket(
             id=reply["id"],
             batch=bool(reply["batch"]),
@@ -173,9 +357,13 @@ class ServiceClient:
 
     def status(self, job_id: str) -> dict:
         """The raw job envelope (any completion state)."""
-        status, payload = self._request_json("GET", f"/v1/jobs/{job_id}")
+        status, payload, retry_after = self._request_json(
+            "GET", f"/v1/jobs/{job_id}"
+        )
         if "id" not in payload:
-            self._raise_for(status, payload, f"job {job_id} lookup failed")
+            self._raise_for(
+                status, payload, f"job {job_id} lookup failed", retry_after
+            )
         return payload
 
     def result_raw(self, job_id: str) -> bytes:
@@ -225,20 +413,35 @@ class ServiceClient:
         return responses[0]
 
     def stream(self, job_id: str) -> Iterator[StreamEvent]:
-        """Yield per-slot results as the server completes them (NDJSON)."""
-        connection = self._open()
+        """Yield per-slot results as the server completes them (NDJSON).
+
+        Streaming is not retried — a consumer observing a half-delivered
+        stream must decide for itself whether to re-stream — but the
+        breaker still counts connection failures, and an open breaker
+        fails fast here too.
+        """
+        self._breaker_preflight()
+        try:
+            connection = self._open()
+        except (OSError, http.client.HTTPException) as exc:
+            self._breaker_failure()
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
         try:
             try:
                 connection.request(
                     "GET",
                     f"/v1/jobs/{job_id}/events",
-                    headers={"Connection": "close"},
+                    headers=self._headers(None),
                 )
                 reply = connection.getresponse()
             except (OSError, http.client.HTTPException) as exc:
+                self._breaker_failure()
                 raise ServiceError(
                     f"cannot reach service at {self.base_url}: {exc}"
                 ) from exc
+            self._breaker_success()
             if reply.status != 200:
                 body = reply.read()
                 try:

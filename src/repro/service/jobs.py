@@ -1,10 +1,21 @@
 """Job lifecycle: admission control, registry, and the dispatch workers.
 
 A *job* is one submission — a single request or a batch — broken into
-per-request *slots*.  Admission is a bounded queue: a full queue rejects
-the submission (HTTP 429 upstream) instead of letting latency grow without
-bound, and a draining service rejects everything new (503) while finishing
-what it already accepted.
+per-request *slots*.  Admission is a degradation ladder, cheapest refusal
+first: a draining service rejects everything new (503); a client over its
+quota of concurrently active jobs is rejected (429) before it can starve
+the others; under queue pressure, ``low``-priority work is shed first and
+``normal`` next (429), so ``high``-priority submissions keep landing
+until the queue is genuinely full; and a full queue rejects everyone
+(429) instead of letting latency grow without bound.  Every refusal
+carries a ``retry_after`` hint sized to the backlog, surfaced upstream as
+the ``Retry-After`` header.
+
+With a :class:`~repro.service.journal.JobJournal` attached, admission is
+also *durable*: the job's requests are journaled (one fsync'd record)
+before ``submit`` returns — i.e. before the 202 leaves the server — and
+completion appends a tombstone.  :meth:`JobRunner.restore` re-enqueues
+journaled jobs after a hard crash under their original ids.
 
 Worker threads pull whole jobs and run them through the content-addressed
 store's dedup protocol: every slot key is claimed first (store hits and
@@ -25,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import os
 import queue
 import threading
@@ -34,8 +46,11 @@ from collections import OrderedDict
 from repro.api import canonical_request_key, run_batch
 from repro.api.specs import ErrorResponse, MapRequest, SimRequest
 from repro.errors import ApiError, ServiceError
+from repro.service.journal import JobJournal
 from repro.service.store import ResultStore
-from repro.service.wire import canonical_response_bytes
+from repro.service.wire import canonical_response_bytes, parse_request
+
+log = logging.getLogger(__name__)
 
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
@@ -44,13 +59,39 @@ JOB_DONE = "done"
 SLOT_PENDING = "pending"
 SLOT_DONE = "done"
 
+#: Priority classes, shed-first order: under queue pressure ``low`` work
+#: is refused first, then ``normal``; ``high`` is admitted until the
+#: queue is genuinely full.
+PRIORITIES = ("low", "normal", "high")
+
+#: Chaos hooks mirroring the batch engine's ``REPRO_CRASH_*`` style: when
+#: a job carries a slot whose tag matches ``REPRO_SERVICE_CRASH_TAG``, the
+#: dispatch worker thread dies (``SystemExit``) after claiming the job's
+#: store keys — the worst possible moment, with claims held and slots
+#: pending.  With ``REPRO_SERVICE_CRASH_ONCE`` set to a sentinel path only
+#: the first matching worker dies, so the retry path can be observed.
+#: Test instruments only: inert unless the variables are set.
+_SERVICE_CRASH_TAG_ENV = "REPRO_SERVICE_CRASH_TAG"
+_SERVICE_CRASH_ONCE_ENV = "REPRO_SERVICE_CRASH_ONCE"
+
 
 class OverloadedError(ServiceError):
-    """The admission queue is full; the submission was rejected (429)."""
+    """The admission ladder refused the submission (HTTP 429)."""
+
+
+class QuotaExceededError(OverloadedError):
+    """The client is over its quota of concurrently active jobs (429)."""
 
 
 class DrainingError(ServiceError):
     """The service is shutting down and accepts no new work (503)."""
+
+
+def _request_tag(request: MapRequest | SimRequest) -> str | None:
+    """The batch-correlation tag of a request (sim requests inherit it)."""
+    if isinstance(request, SimRequest):
+        return request.map_request.tag
+    return request.tag
 
 
 class JobSlot:
@@ -82,10 +123,19 @@ class Job:
     """One submission: ordered slots plus coarse status, lock-guarded."""
 
     def __init__(
-        self, job_id: str, requests: list[MapRequest | SimRequest], batch: bool
+        self,
+        job_id: str,
+        requests: list[MapRequest | SimRequest],
+        batch: bool,
+        client: str = "anonymous",
+        priority: str = "normal",
+        recovered: bool = False,
     ) -> None:
         self.id = job_id
         self.batch = batch
+        self.client = client
+        self.priority = priority
+        self.recovered = recovered
         self.slots = [JobSlot(request) for request in requests]
         self.status = JOB_QUEUED
         self._lock = threading.Lock()
@@ -130,6 +180,9 @@ class Job:
                 "id": self.id,
                 "status": self.status,
                 "batch": self.batch,
+                "client": self.client,
+                "priority": self.priority,
+                "recovered": self.recovered,
                 "total": len(self.slots),
                 "done": done,
                 "slots": [
@@ -146,8 +199,23 @@ class JobRegistry:
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
 
-    def create(self, requests: list[MapRequest | SimRequest], batch: bool) -> Job:
-        job = Job(uuid.uuid4().hex[:12], requests, batch)
+    def create(
+        self,
+        requests: list[MapRequest | SimRequest],
+        batch: bool,
+        client: str = "anonymous",
+        priority: str = "normal",
+        job_id: str | None = None,
+        recovered: bool = False,
+    ) -> Job:
+        job = Job(
+            job_id or uuid.uuid4().hex[:12],
+            requests,
+            batch,
+            client=client,
+            priority=priority,
+            recovered=recovered,
+        )
         with self._lock:
             self._jobs[job.id] = job
             completed = [
@@ -175,6 +243,15 @@ class JobRegistry:
             )
         return {"total": total, "active": active}
 
+    def active_for(self, client: str) -> int:
+        """How many of ``client``'s jobs are queued or running (quotas)."""
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.client == client and job.status != JOB_DONE
+            )
+
 
 def _chunks(items: list, size: int):
     iterator = iter(items)
@@ -199,11 +276,17 @@ class JobRunner:
         timeout: float | None = None,
         max_batch: int = 1024,
         chunk: int | None = None,
+        journal: JobJournal | None = None,
+        client_quota: int | None = None,
+        shed_low_at: float = 0.5,
+        shed_normal_at: float = 0.85,
     ) -> None:
         if queue_limit < 1:
             raise ApiError(f"queue_limit must be >= 1, got {queue_limit}")
         if workers < 1:
             raise ApiError(f"workers must be >= 1, got {workers}")
+        if client_quota is not None and client_quota < 1:
+            raise ApiError(f"client_quota must be >= 1, got {client_quota}")
         self._store = store
         self._registry = registry
         self._queue: "queue.Queue[Job | None]" = queue.Queue(maxsize=queue_limit)
@@ -212,7 +295,14 @@ class JobRunner:
         self._timeout = timeout
         self._max_batch = max_batch
         self._chunk = chunk
+        self._journal = journal
+        self._client_quota = client_quota
+        self._shed_low_at = shed_low_at
+        self._shed_normal_at = shed_normal_at
         self._threads: list[threading.Thread] = []
+        self._feeders: list[threading.Thread] = []
+        self._thread_lock = threading.Lock()
+        self._thread_serial = itertools.count()
         self._draining = False
 
     # -- lifecycle ------------------------------------------------------
@@ -227,12 +317,18 @@ class JobRunner:
             jit.warmup()
         except Exception:  # noqa: BLE001 — warm-up is an optimization only
             pass
-        for index in range(self._workers):
-            thread = threading.Thread(
-                target=self._worker, name=f"repro-service-worker-{index}", daemon=True
-            )
-            thread.start()
+        for _ in range(self._workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        thread = threading.Thread(
+            target=self._worker_shell,
+            name=f"repro-service-worker-{next(self._thread_serial)}",
+            daemon=True,
+        )
+        with self._thread_lock:
             self._threads.append(thread)
+        thread.start()
 
     @property
     def draining(self) -> bool:
@@ -250,61 +346,227 @@ class JobRunner:
         then do the workers exit.
         """
         self.begin_drain()
+        # A recovery feeder still enqueueing counts as accepted work.
+        for feeder in self._feeders:
+            feeder.join()
         self._queue.join()
-        for _ in self._threads:
+        with self._thread_lock:
+            threads = list(self._threads)
+        for _ in threads:
             self._queue.put(None)
-        for thread in self._threads:
+        for thread in threads:
             thread.join()
-        self._threads.clear()
+        with self._thread_lock:
+            self._threads.clear()
 
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
     # -- submission -----------------------------------------------------
-    def submit(self, requests: list[MapRequest | SimRequest], batch: bool) -> Job:
-        """Admit one job, or refuse it loudly.
+    def retry_after_hint(self) -> float:
+        """Suggested client back-off in seconds, sized to the backlog."""
+        depth = self._queue.qsize()
+        return min(30.0, 1.0 + 2.0 * depth / self._workers)
+
+    def submit(
+        self,
+        requests: list[MapRequest | SimRequest],
+        batch: bool,
+        client: str = "anonymous",
+        priority: str = "normal",
+    ) -> Job:
+        """Admit one job through the degradation ladder, or refuse loudly.
 
         Raises:
             DrainingError: the service is shutting down (HTTP 503).
-            OverloadedError: the admission queue is full (HTTP 429).
-            ApiError: empty submission or batch larger than ``max_batch``.
+            QuotaExceededError: ``client`` is over its active-job quota
+                (HTTP 429).
+            OverloadedError: the queue is full, or pressure shed this
+                priority class (HTTP 429).  Both carry ``retry_after``.
+            ApiError: empty submission, unknown priority, or batch larger
+                than ``max_batch``.
         """
         if not requests:
             raise ApiError("a job needs at least one request")
+        if priority not in PRIORITIES:
+            raise ApiError(
+                f"priority must be one of {', '.join(PRIORITIES)}, got {priority!r}"
+            )
         if len(requests) > self._max_batch:
             raise ApiError(
                 f"batch of {len(requests)} exceeds the service limit of "
                 f"{self._max_batch} requests per job"
             )
         if self._draining:
-            raise DrainingError("service is draining and accepts no new jobs")
-        job = self._registry.create(requests, batch)
+            raise DrainingError(
+                "service is draining and accepts no new jobs",
+                retry_after=self.retry_after_hint(),
+            )
+        if (
+            self._client_quota is not None
+            and self._registry.active_for(client) >= self._client_quota
+        ):
+            raise QuotaExceededError(
+                f"client {client!r} already has {self._client_quota} active "
+                f"job(s); finish or await them first",
+                retry_after=self.retry_after_hint(),
+            )
+        fill = self._queue.qsize() / self._queue.maxsize
+        shed_at = {"low": self._shed_low_at, "normal": self._shed_normal_at}
+        threshold = shed_at.get(priority)
+        if threshold is not None and fill >= threshold:
+            raise OverloadedError(
+                f"shedding {priority}-priority work: queue at "
+                f"{fill:.0%} of {self._queue.maxsize}; retry later",
+                retry_after=self.retry_after_hint(),
+            )
+        job = self._registry.create(requests, batch, client=client, priority=priority)
+        self._journal_accepted(job)
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             self._registry.discard(job.id)
+            self._journal_finished(job)
             raise OverloadedError(
-                f"admission queue is full ({self._queue.maxsize} jobs); retry later"
+                f"admission queue is full ({self._queue.maxsize} jobs); retry later",
+                retry_after=self.retry_after_hint(),
             ) from None
         return job
 
+    # -- journal --------------------------------------------------------
+    def _journal_accepted(self, job: Job) -> None:
+        """Make the acceptance durable, or refuse the job (nothing queued).
+
+        Written *before* the job enters the queue, so "journaled" strictly
+        precedes "runnable": a crash at any point after ``submit`` returns
+        replays the job.  (A crash between journal and enqueue replays a
+        job that never got its 202 — harmless, replay is idempotent.)
+        """
+        if self._journal is None:
+            return
+        try:
+            self._journal.record_accepted(
+                job.id,
+                [slot.request.to_dict() for slot in job.slots],
+                job.batch,
+                client=job.client,
+                priority=job.priority,
+            )
+        except OSError as exc:
+            self._registry.discard(job.id)
+            raise ServiceError(
+                f"cannot journal the job (durability unavailable): {exc}"
+            ) from exc
+
+    def _journal_finished(self, job: Job) -> None:
+        """Tombstone a completed (or refused) job; never raises."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.record_finished(job.id)
+        except OSError:
+            log.warning(
+                "could not journal completion of job %s; it may replay "
+                "(idempotently) after a crash",
+                job.id,
+            )
+
+    # -- recovery -------------------------------------------------------
+    def restore(self, records: list[dict]) -> list[Job]:
+        """Re-admit journaled jobs after a crash, under their original ids.
+
+        Every record is registered immediately (clients polling pre-crash
+        job ids see them ``queued`` right away); the actual enqueue happens
+        on a feeder thread with a *blocking* put, because recovered work
+        was already accepted once and must not be shed by the admission
+        ladder — even when there are more recovered jobs than queue slots.
+        Records whose requests no longer parse (e.g. a schema change
+        across the restart) are tombstoned and skipped with a warning.
+        """
+        jobs: list[Job] = []
+        for record in records:
+            try:
+                requests = [
+                    parse_request(payload) for payload in record["requests"]
+                ]
+                if not requests:
+                    raise ApiError("journaled job has no requests")
+            except (ApiError, KeyError, TypeError) as exc:
+                log.warning(
+                    "dropping unreplayable journaled job %s: %s",
+                    record.get("job"),
+                    exc,
+                )
+                if self._journal is not None:
+                    self._journal.record_finished(str(record.get("job")))
+                continue
+            jobs.append(
+                self._registry.create(
+                    requests,
+                    bool(record.get("batch")),
+                    client=str(record.get("client", "anonymous")),
+                    priority=str(record.get("priority", "normal")),
+                    job_id=str(record["job"]),
+                    recovered=True,
+                )
+            )
+        if jobs:
+            feeder = threading.Thread(
+                target=self._feed_restored,
+                args=(jobs,),
+                name="repro-service-restore",
+                daemon=True,
+            )
+            self._feeders.append(feeder)
+            feeder.start()
+        return jobs
+
+    def _feed_restored(self, jobs: list[Job]) -> None:
+        for job in jobs:
+            self._queue.put(job)
+
     # -- execution ------------------------------------------------------
+    def _worker_shell(self) -> None:
+        """Run the worker loop; if the thread dies, replace it.
+
+        A worker thread can be killed by something harsher than the
+        ``Exception`` handling inside (``SystemExit`` from a chaos hook, a
+        ``MemoryError``, ...).  The shell guarantees two things: the dying
+        thread's job has already failed its pending slots and abandoned
+        its claims (see :meth:`_worker`), and — unless the service is
+        draining — a replacement worker is spawned so queued jobs never
+        wait on a thread that no longer exists.
+        """
+        try:
+            self._worker()
+        except BaseException:
+            if not self._draining:
+                self._spawn_worker()
+            raise
+
     def _worker(self) -> None:
         while True:
             job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
             try:
-                if job is None:
-                    return
                 try:
                     self._run_job(job)
                 except Exception as exc:  # noqa: BLE001 — a worker must survive
                     self._fail_pending_slots(job, exc)
-                finally:
-                    job.mark_done()
+                except BaseException as exc:
+                    # The thread is dying: leave every slot answered and
+                    # (via _run_job's finally) every claim abandoned, then
+                    # let the shell respawn a replacement.
+                    self._fail_pending_slots(job, exc)
+                    raise
             finally:
+                job.mark_done()
+                self._journal_finished(job)
                 self._queue.task_done()
 
-    def _fail_pending_slots(self, job: Job, exc: Exception) -> None:
+    def _fail_pending_slots(self, job: Job, exc: BaseException) -> None:
         """Last-resort slot completion when the runner itself failed."""
         message = f"service job runner failed: {exc}"
         for index, slot in enumerate(job.slots):
@@ -313,6 +575,20 @@ class JobRunner:
                     request=slot.request, error="ServiceError", message=message
                 )
                 job.record(index, canonical_response_bytes(response), cached=False)
+
+    def _inject_worker_chaos(self, job: Job) -> None:
+        """Honor the worker-death test hook for a matching job tag."""
+        tag = os.environ.get(_SERVICE_CRASH_TAG_ENV)
+        if not tag or all(_request_tag(s.request) != tag for s in job.slots):
+            return
+        sentinel = os.environ.get(_SERVICE_CRASH_ONCE_ENV)
+        if sentinel:
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return  # already died once; let the retry run
+            os.close(fd)
+        raise SystemExit(f"service chaos hook: worker dying on tag {tag!r}")
 
     def _run_job(self, job: Job) -> None:
         job.mark_running()
@@ -324,19 +600,25 @@ class JobRunner:
             groups.setdefault(slot.key, []).append(index)
         owned: list[str] = []
         waiting: list[str] = []
-        for key, indices in groups.items():
-            state, data = store.claim(key)
-            if state == "hit":
-                assert data is not None
-                for index in indices:
-                    job.record(index, data, cached=True)
-            elif state == "owned":
-                owned.append(key)
-            else:
-                waiting.append(key)
-
-        unpublished = set(owned)
+        published: set[str] = set()
+        # The try spans from the first claim: no matter how this thread
+        # dies — mid-claim-loop, mid-execution, or killed outright — every
+        # owned-but-unpublished key is abandoned, so no waiter on another
+        # job can hang on a claim whose owner is gone.
         try:
+            for key, indices in groups.items():
+                state, data = store.claim(key)
+                if state == "hit":
+                    assert data is not None
+                    for index in indices:
+                        job.record(index, data, cached=True)
+                elif state == "owned":
+                    owned.append(key)
+                else:
+                    waiting.append(key)
+
+            self._inject_worker_chaos(job)
+
             chunk_size = self._chunk or max(1, min(len(owned), os.cpu_count() or 1))
             # isolate=True keeps singleton chunks on the pool: with the
             # process executor a crashing request must kill a disposable
@@ -354,13 +636,14 @@ class JobRunner:
                     data = canonical_response_bytes(response)
                     cacheable = not isinstance(response, ErrorResponse)
                     store.publish(key, data, cache=cacheable)
-                    unpublished.discard(key)
+                    published.add(key)
                     for index in groups[key]:
                         job.record(index, data, cached=False)
         finally:
             # A failure between claim and publish must not strand waiters.
-            for key in unpublished:
-                store.abandon(key)
+            for key in owned:
+                if key not in published:
+                    store.abandon(key)
 
         # Only now — with nothing of ours left unpublished — wait on keys
         # other jobs own.  Their owners follow the same discipline, so the

@@ -29,6 +29,15 @@ Shutdown is a *drain*, not a drop: SIGTERM/SIGINT (or
 :meth:`NocService.request_shutdown`) stops admissions (503), finishes
 every accepted job, keeps answering status/result/stream requests through
 a short grace window, then exits.  No accepted job's results are lost.
+
+Hard crashes are covered too: with a store root (or explicit
+``journal_path``), every admitted job is journaled before its 202 and
+replayed on the next start (``recover=True``), so ``kill -9`` mid-batch
+loses nothing either — see :mod:`repro.service.journal`.  Overload is a
+degradation ladder (per-client quotas, priority shedding, 429/503 with
+``Retry-After``) and the store is bounded (``store_max_bytes`` LRU cap,
+``result_ttl`` expiry) — see :mod:`repro.service.jobs` and
+:mod:`repro.service.store`.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ import json
 import signal
 import threading
 from dataclasses import dataclass, fields
+from pathlib import Path
 from typing import Callable
 
 from repro.api.registry import mapper_entries
@@ -45,12 +55,14 @@ from repro.api.specs import SCHEMA_VERSION
 from repro.errors import ApiError, ServiceError
 from repro.service.jobs import (
     JOB_DONE,
+    PRIORITIES,
     SLOT_DONE,
     DrainingError,
     JobRegistry,
     JobRunner,
     OverloadedError,
 )
+from repro.service.journal import JobJournal
 from repro.service.store import ResultStore
 from repro.service.wire import parse_request, status_for_error
 
@@ -94,6 +106,22 @@ class ServiceConfig:
         max_body: request body cap in bytes (413 beyond it).
         drain_grace: seconds to keep serving reads after the drain
             completes, so pollers and open streams collect final results.
+        store_max_bytes: LRU size cap on the result store's entry bytes;
+            None = unbounded disk.
+        result_ttl: idle time-to-live for store entries in seconds; None =
+            entries never expire.
+        journal_path: write-ahead job journal location.  None derives
+            ``<store_root>/journal.ndjson`` when a store root is set (the
+            durable default); an empty string disables journaling even
+            with a store root.
+        recover: replay unfinished journaled jobs on startup (on by
+            default — a ``kill -9`` mid-batch loses nothing).
+        client_quota: max queued+running jobs per client id (the
+            ``X-Repro-Client`` header); beyond it submissions get 429.
+        shed_low_at/shed_normal_at: queue-fill fractions beyond which
+            ``low``- and ``normal``-priority submissions are shed (429
+            with ``Retry-After``); ``high`` is only refused by a full
+            queue.
     """
 
     host: str = "127.0.0.1"
@@ -108,16 +136,38 @@ class ServiceConfig:
     job_history: int = 256
     max_body: int = 8 * 1024 * 1024
     drain_grace: float = 0.5
+    store_max_bytes: int | None = None
+    result_ttl: float | None = None
+    journal_path: str | None = None
+    recover: bool = True
+    client_quota: int | None = None
+    shed_low_at: float = 0.5
+    shed_normal_at: float = 0.85
 
 
 class _HttpError(Exception):
     """An error reply decided before a handler produced a body."""
 
-    def __init__(self, status: int, error: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.error = error
         self.message = message
+        self.headers = headers
+
+
+def _retry_after_headers(exc) -> dict[str, str] | None:
+    """``Retry-After`` header for a refusal carrying a back-off hint."""
+    hint = getattr(exc, "retry_after", None)
+    if hint is None:
+        return None
+    return {"Retry-After": str(max(1, int(-(-float(hint) // 1))))}
 
 
 class NocService:
@@ -133,7 +183,15 @@ class NocService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
-        self.store = ResultStore(self.config.store_root)
+        self.store = ResultStore(
+            self.config.store_root,
+            max_bytes=self.config.store_max_bytes,
+            ttl=self.config.result_ttl,
+        )
+        journal_path = self.config.journal_path
+        if journal_path is None and self.config.store_root is not None:
+            journal_path = str(Path(self.config.store_root) / "journal.ndjson")
+        self.journal = JobJournal(journal_path) if journal_path else None
         self.registry = JobRegistry(limit=self.config.job_history)
         self.runner = JobRunner(
             self.store,
@@ -144,6 +202,10 @@ class NocService:
             timeout=self.config.timeout,
             max_batch=self.config.max_batch,
             chunk=self.config.chunk,
+            journal=self.journal,
+            client_quota=self.config.client_quota,
+            shed_low_at=self.config.shed_low_at,
+            shed_normal_at=self.config.shed_normal_at,
         )
         self.port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -158,6 +220,20 @@ class NocService:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self.runner.start()
+        if self.journal is not None and self.config.recover:
+            # Replay the durable promise before the socket opens: every
+            # journaled-but-unfinished job re-enters the queue under its
+            # original id, then the journal is compacted down to exactly
+            # those records.
+            records = self.journal.recover()
+            self.journal.compact()
+            if records:
+                restored = self.runner.restore(records)
+                if announce is not None:
+                    announce(
+                        f"repro.service recovered {len(restored)} unfinished "
+                        f"job(s) from {self.journal.path}"
+                    )
         server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port
         )
@@ -181,6 +257,11 @@ class NocService:
             # keeps serving status/result/stream reads meanwhile), then
             # hold the door open briefly so clients collect the results.
             await self._loop.run_in_executor(None, self.runner.drain)
+            if self.journal is not None:
+                # Every accepted job is done: compacting leaves an empty
+                # journal, so the next start has nothing to replay.
+                self.journal.compact()
+                self.journal.close()
             await asyncio.sleep(self.config.drain_grace)
 
     def serve_forever(
@@ -231,13 +312,14 @@ class NocService:
             parsed = await self._read_request(reader)
             if parsed is None:
                 return
-            method, path, body = parsed
-            await self._dispatch(writer, method, path, body)
+            method, path, headers, body = parsed
+            await self._dispatch(writer, method, path, headers, body)
         except _HttpError as exc:
             await self._send_json(
                 writer,
                 exc.status,
                 {"error": exc.error, "message": exc.message},
+                extra_headers=exc.headers,
             )
         except (
             ConnectionError,
@@ -263,7 +345,7 @@ class NocService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes] | None:
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
         request_line = await asyncio.wait_for(reader.readline(), timeout=30)
         if not request_line.strip():
             return None
@@ -291,7 +373,7 @@ class NocService:
             )
         body = await reader.readexactly(length) if length else b""
         path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        return method.upper(), path, headers, body
 
     async def _send_bytes(
         self,
@@ -299,25 +381,40 @@ class NocService:
         status: int,
         data: bytes,
         content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extras}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + data)
         await writer.drain()
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        await self._send_bytes(writer, status, data)
+        await self._send_bytes(writer, status, data, extra_headers=extra_headers)
 
     # -- routing --------------------------------------------------------
     async def _dispatch(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
     ) -> None:
         if path == "/v1/health" and method == "GET":
             await self._handle_health(writer)
@@ -326,7 +423,7 @@ class NocService:
             await self._handle_mappers(writer)
             return
         if path == "/v1/jobs" and method == "POST":
-            await self._handle_submit(writer, body)
+            await self._handle_submit(writer, headers, body)
             return
         if path.startswith("/v1/jobs/") and method == "GET":
             rest = path[len("/v1/jobs/"):]
@@ -356,6 +453,9 @@ class NocService:
                 "queue_depth": self.runner.queue_depth(),
                 "jobs": self.registry.counts(),
                 "store": self.store.stats(),
+                "journal": (
+                    None if self.journal is None else self.journal.stats()
+                ),
             },
         )
 
@@ -379,7 +479,7 @@ class NocService:
         )
 
     async def _handle_submit(
-        self, writer: asyncio.StreamWriter, body: bytes
+        self, writer: asyncio.StreamWriter, headers: dict[str, str], body: bytes
     ) -> None:
         try:
             payload = json.loads(body)
@@ -397,12 +497,34 @@ class NocService:
                 batch = False
         except ApiError as exc:
             raise _HttpError(400, "ApiError", str(exc)) from None
+        client = headers.get("x-repro-client", "anonymous") or "anonymous"
+        priority = headers.get("x-repro-priority", "normal") or "normal"
+        if priority not in PRIORITIES:
+            raise _HttpError(
+                400,
+                "ApiError",
+                f"X-Repro-Priority must be one of {', '.join(PRIORITIES)}, "
+                f"got {priority!r}",
+            )
         try:
-            job = self.runner.submit(requests, batch)
+            job = self.runner.submit(
+                requests, batch, client=client, priority=priority
+            )
         except OverloadedError as exc:
-            raise _HttpError(429, "OverloadedError", str(exc)) from None
+            # QuotaExceededError included: both are 429 with a back-off hint.
+            raise _HttpError(
+                429,
+                type(exc).__name__,
+                str(exc),
+                headers=_retry_after_headers(exc),
+            ) from None
         except DrainingError as exc:
-            raise _HttpError(503, "DrainingError", str(exc)) from None
+            raise _HttpError(
+                503,
+                "DrainingError",
+                str(exc),
+                headers=_retry_after_headers(exc),
+            ) from None
         except ApiError as exc:
             raise _HttpError(400, "ApiError", str(exc)) from None
         await self._send_json(

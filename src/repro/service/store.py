@@ -23,6 +23,16 @@ that survives the process and is shared by every worker thread:
   receive the owner's exact bytes.  100 identical concurrent submissions
   execute once and all 100 read byte-identical bodies.
 
+* **Bounded disk.**  With ``max_bytes`` set, the store is an LRU: every
+  ``put`` that pushes the byte total over the cap evicts least-recently-
+  used entries until it fits again (reads refresh recency, persisted via
+  the entry's mtime so the ordering survives restarts).  With ``ttl``
+  set, an entry idle longer than ``ttl`` seconds reads as a miss and is
+  unlinked.  Keys with an in-flight computation are never evicted — an
+  owner publishing or a waiter about to read can't have the entry pulled
+  out from under it — so the total may transiently exceed the cap by the
+  in-flight entries, never by cold ones.
+
 Error results (``error-response`` payloads) are *published* to waiters —
 concurrent duplicates of a failing request all see the same typed failure
 — but never *persisted*: a transient timeout or worker death must not
@@ -38,6 +48,8 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
 
@@ -63,18 +75,33 @@ class ResultStore:
             semantics.
         schema_version: payload schema the namespace is bound to; defaults
             to the library's :data:`~repro.api.SCHEMA_VERSION`.
+        max_bytes: LRU size cap over the entry bytes; None = unbounded.
+        ttl: idle time-to-live in seconds — an entry neither written nor
+            read for this long expires (reads as a miss, file unlinked);
+            None = entries never expire.
+        clock: time source for TTL/LRU stamps (tests inject a fake).
     """
 
     def __init__(
         self,
         root: str | Path | None = None,
         schema_version: int = SCHEMA_VERSION,
+        *,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self._root = None if root is None else Path(root)
         self._schema = schema_version
+        self._max_bytes = max_bytes
+        self._ttl = ttl
+        self._clock = clock
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
         self._memory: dict[str, bytes] = {}
+        #: key -> [size, last-touch stamp], in LRU order (oldest first).
+        self._index: "OrderedDict[str, list]" = OrderedDict()
+        self._bytes = 0
         self._counts = {
             "executed": 0,
             "stored": 0,
@@ -82,7 +109,112 @@ class ResultStore:
             "inflight_waits": 0,
             "corrupt_dropped": 0,
             "errors_uncached": 0,
+            "evicted": 0,
+            "ttl_expired": 0,
         }
+        if self._root is not None and (max_bytes is not None or ttl is not None):
+            self._scan()
+
+    # -- eviction index -------------------------------------------------
+    def _scan(self) -> None:
+        """Rebuild the LRU index from the namespace dir (startup only).
+
+        Entry mtimes — refreshed on every read — seed the recency order,
+        so LRU decisions survive a restart.
+        """
+        namespace = self.namespace
+        assert namespace is not None
+        found: list[tuple[float, str, int]] = []
+        try:
+            shards = list(namespace.iterdir())
+        except OSError:
+            return
+        for shard in shards:
+            try:
+                entries = list(shard.iterdir())
+            except OSError:
+                continue
+            for entry in entries:
+                if entry.suffix != ".json" or entry.name.startswith("."):
+                    continue
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, entry.stem, stat.st_size))
+        with self._lock:
+            for stamp, key, size in sorted(found):
+                self._index[key] = [size, stamp]
+                self._bytes += size
+
+    def _tracking(self) -> bool:
+        return self._max_bytes is not None or self._ttl is not None
+
+    def _index_put(self, key: str, size: int) -> None:
+        """Record a write: newest recency, then evict LRU over the cap."""
+        if not self._tracking():
+            return
+        with self._lock:
+            old = self._index.pop(key, None)
+            if old is not None:
+                self._bytes -= old[0]
+            self._index[key] = [size, self._clock()]
+            self._bytes += size
+            if self._max_bytes is None:
+                return
+            while self._bytes > self._max_bytes:
+                victim = next(
+                    (k for k in self._index if k not in self._inflight and k != key),
+                    None,
+                )
+                if victim is None:
+                    break  # everything left is in flight; transient overage
+                self._drop_locked(victim, "evicted")
+
+    def _index_forget(self, key: str) -> None:
+        if not self._tracking():
+            return
+        with self._lock:
+            entry = self._index.pop(key, None)
+            if entry is not None:
+                self._bytes -= entry[0]
+
+    def _drop_locked(self, key: str, counter: str) -> None:
+        """Remove one entry (both tiers) under ``self._lock``."""
+        entry = self._index.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry[0]
+        self._memory.pop(key, None)
+        if self._root is not None:
+            try:
+                self.path_for(key).unlink()
+            except OSError:
+                pass
+        self._counts[counter] += 1
+
+    def _check_fresh(self, key: str, size: int) -> bool:
+        """TTL check + LRU touch for a read hit; False = expired."""
+        if not self._tracking():
+            return True
+        now = self._clock()
+        with self._lock:
+            entry = self._index.get(key)
+            stamp = entry[1] if entry is not None else now
+            if self._ttl is not None and now - stamp > self._ttl:
+                self._drop_locked(key, "ttl_expired")
+                return False
+            if entry is None:
+                self._index[key] = [size, now]
+                self._bytes += size
+            else:
+                entry[1] = now
+                self._index.move_to_end(key)
+        if self._root is not None:
+            try:
+                os.utime(self.path_for(key))
+            except OSError:
+                pass
+        return True
 
     # -- paths ----------------------------------------------------------
     @property
@@ -114,10 +246,13 @@ class ResultStore:
             self._counts[counter] += amount
 
     def _read(self, key: str) -> bytes | None:
-        """Raw entry bytes, or None for a miss *or* a dropped corrupt entry."""
+        """Raw entry bytes, or None for a miss, corrupt entry, or expiry."""
         if self._root is None:
             with self._lock:
-                return self._memory.get(key)
+                data = self._memory.get(key)
+            if data is None:
+                return None
+            return data if self._check_fresh(key, len(data)) else None
         path = self.path_for(key)
         try:
             data = path.read_bytes()
@@ -128,9 +263,10 @@ class ResultStore:
                 path.unlink()
             except OSError:
                 pass
+            self._index_forget(key)
             self._bump("corrupt_dropped")
             return None
-        return data
+        return data if self._check_fresh(key, len(data)) else None
 
     # -- basic tier -----------------------------------------------------
     def get(self, key: str) -> bytes | None:
@@ -146,6 +282,7 @@ class ResultStore:
             with self._lock:
                 self._memory[key] = data
                 self._counts["stored"] += 1
+            self._index_put(key, len(data))
             return
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -153,6 +290,7 @@ class ResultStore:
         tmp.write_bytes(data)
         os.replace(tmp, path)
         self._bump("stored")
+        self._index_put(key, len(data))
 
     # -- in-flight dedup ------------------------------------------------
     def claim(self, key: str) -> tuple[str, bytes | None]:
@@ -255,4 +393,7 @@ class ResultStore:
         with self._lock:
             snapshot = dict(self._counts)
             snapshot["inflight"] = len(self._inflight)
+            if self._tracking():
+                snapshot["bytes"] = self._bytes
+                snapshot["entries"] = len(self._index)
         return snapshot

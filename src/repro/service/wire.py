@@ -104,7 +104,10 @@ _STATUS_BY_ERROR = {"ApiError": 400, "BatchError": 504}
 
 #: Every other library error class means "well-formed request that cannot
 #: be satisfied on that input" — 422.  Derived from the live exception
-#: hierarchy so new subsystem errors classify themselves.
+#: hierarchy so new subsystem errors classify themselves.  ServiceError
+#: and its whole subtree (overload/draining/quota/circuit-breaker) are
+#: excluded: those describe the service or the client's transport, never
+#: the request content, so an unexpected one surfaces as a 500.
 _CONTENT_ERRORS = frozenset(
     name
     for name, obj in vars(_errors).items()
@@ -112,7 +115,7 @@ _CONTENT_ERRORS = frozenset(
     and issubclass(obj, _errors.ReproError)
     and obj is not _errors.ReproError
     and name not in _STATUS_BY_ERROR
-    and obj is not _errors.ServiceError
+    and not issubclass(obj, _errors.ServiceError)
 )
 
 

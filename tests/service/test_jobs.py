@@ -1,0 +1,239 @@
+"""The job runner's admission ladder and worker hardening, unit level.
+
+The HTTP suite (test_server.py) covers the wire path; here the
+:class:`JobRunner` is driven directly so the refusal ladder can be pinned
+deterministically (no workers draining the queue mid-assert) and the
+worker-death chaos hook can kill a dispatch thread at the worst moment —
+claims held, slots pending — without a subprocess.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import MapRequest
+from repro.errors import ApiError, ServiceError
+from repro.service import (
+    DrainingError,
+    JobJournal,
+    JobRegistry,
+    JobRunner,
+    OverloadedError,
+    QuotaExceededError,
+    ResultStore,
+)
+from repro.service.jobs import JOB_DONE
+
+
+def request(tag: str | None = None) -> MapRequest:
+    return MapRequest(app="vopd", price_bandwidth=False, tag=tag)
+
+
+def make_runner(**overrides) -> JobRunner:
+    overrides.setdefault("queue_limit", 4)
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("executor", "serial")
+    return JobRunner(ResultStore(None), JobRegistry(), **overrides)
+
+
+def wait_for(predicate, timeout=30.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+class TestAdmissionLadder:
+    """Workers deliberately not started: the queue holds what we put in."""
+
+    def test_client_quota_is_enforced_per_identity(self):
+        runner = make_runner(client_quota=1)
+        runner.submit([request(tag="a")], batch=False, client="alice")
+        with pytest.raises(QuotaExceededError) as info:
+            runner.submit([request(tag="b")], batch=False, client="alice")
+        assert info.value.retry_after is not None
+        # A different identity is unaffected by alice's quota.
+        runner.submit([request(tag="c")], batch=False, client="bob")
+
+    def test_low_priority_is_shed_first(self):
+        runner = make_runner(queue_limit=8)
+        for index in range(4):
+            runner.submit([request(tag=f"n{index}")], batch=False)
+        # Fill is now 0.5: low is shed, normal still lands.
+        with pytest.raises(OverloadedError):
+            runner.submit([request(tag="low")], batch=False, priority="low")
+        for index in range(4, 7):
+            runner.submit([request(tag=f"n{index}")], batch=False)
+        # Fill is now 0.875 (>= 0.85): normal is shed, high still lands.
+        with pytest.raises(OverloadedError):
+            runner.submit([request(tag="normal")], batch=False)
+        runner.submit([request(tag="high")], batch=False, priority="high")
+        # Queue genuinely full now: even high is refused, with a hint.
+        with pytest.raises(OverloadedError) as info:
+            runner.submit([request(tag="over")], batch=False, priority="high")
+        assert "full" in str(info.value)
+        assert info.value.retry_after is not None
+
+    def test_unknown_priority_is_an_api_error(self):
+        runner = make_runner()
+        with pytest.raises(ApiError):
+            runner.submit([request()], batch=False, priority="urgent")
+
+    def test_draining_refuses_with_a_hint(self):
+        runner = make_runner()
+        runner.begin_drain()
+        with pytest.raises(DrainingError) as info:
+            runner.submit([request()], batch=False)
+        assert info.value.retry_after is not None
+
+
+class TestDurableAdmission:
+    def test_accepted_jobs_are_journaled_before_submit_returns(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        runner = make_runner(journal=journal)
+        job = runner.submit([request(tag="durable")], batch=False, client="alice")
+        (record,) = JobJournal(journal.path).recover()
+        assert record["job"] == job.id
+        assert record["client"] == "alice"
+        assert record["requests"][0]["tag"] == "durable"
+
+    def test_completion_tombstones_the_journal(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        runner = make_runner(journal=journal)
+        runner.start()
+        job = runner.submit([request(tag="done")], batch=False)
+        assert job.wait_done(timeout=60)
+        assert wait_for(lambda: journal.pending_count() == 0)
+        runner.drain()
+        assert JobJournal(journal.path).recover() == []
+
+    def test_journal_failure_refuses_the_job(self, tmp_path, monkeypatch):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        runner = make_runner(journal=journal)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(journal, "record_accepted", explode)
+        with pytest.raises(ServiceError, match="durability unavailable"):
+            runner.submit([request()], batch=False)
+        # Nothing was queued and nothing is registered.
+        assert runner.queue_depth() == 0
+        assert runner._registry.counts()["active"] == 0
+
+    def test_restore_replays_under_original_ids(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        journal.record_accepted(
+            "crashjob", [request(tag="replayed").to_dict()], batch=False
+        )
+        records = journal.recover()
+        runner = make_runner(journal=journal)
+        runner.start()
+        (job,) = runner.restore(records)
+        assert job.id == "crashjob"
+        assert job.recovered is True
+        assert job.wait_done(timeout=60)
+        assert job.slots[0].error is None
+        runner.drain()
+
+    def test_restore_skips_unreplayable_records_with_tombstone(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        journal.record_accepted("bad", [{"kind": "nope"}], batch=False)
+        records = journal.recover()
+        runner = make_runner(journal=journal)
+        assert runner.restore(records) == []
+        # The tombstone stops the bad record replaying forever.
+        assert journal.recover() == []
+
+    def test_restore_feeds_more_jobs_than_queue_slots(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.ndjson", fsync=False)
+        for index in range(6):  # > queue_limit of 4
+            journal.record_accepted(
+                f"job-{index}", [request(tag=f"r{index}").to_dict()], batch=False
+            )
+        records = journal.recover()
+        runner = make_runner(journal=journal, queue_limit=4)
+        runner.start()
+        jobs = runner.restore(records)
+        assert len(jobs) == 6
+        runner.drain()  # joins the feeder, then the queue
+        assert all(job.status == JOB_DONE for job in jobs)
+        assert journal.pending_count() == 0
+
+
+@pytest.mark.filterwarnings(
+    # The chaos hook kills worker threads on purpose; the SystemExit
+    # escaping them is the behavior under test, not a defect.
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestWorkerHardening:
+    def test_dying_worker_abandons_claims_and_fails_slots(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a worker killed mid-claim (after claiming store keys,
+        before executing) must answer every slot, release every claim, and
+        be replaced — queued work and dedup waiters never hang."""
+        monkeypatch.setenv("REPRO_SERVICE_CRASH_TAG", "die-here")
+        monkeypatch.setenv(
+            "REPRO_SERVICE_CRASH_ONCE", str(tmp_path / "died.sentinel")
+        )
+        store = ResultStore(None)
+        runner = JobRunner(
+            store, JobRegistry(), queue_limit=8, workers=1, executor="serial"
+        )
+        runner.start()
+
+        doomed = runner.submit([request(tag="die-here")], batch=False)
+        assert doomed.wait_done(timeout=60)
+        # The dying worker answered the slot with a typed failure...
+        assert doomed.slots[0].error == "ServiceError"
+        # ...and released its claim: the key is immediately claimable.
+        state, _ = store.claim(doomed.slots[0].key)
+        assert state == "owned"
+        store.abandon(doomed.slots[0].key)
+        assert (tmp_path / "died.sentinel").exists()
+
+        # The respawned worker (workers=1, so it must be a replacement)
+        # completes the same request successfully — the store was not
+        # poisoned by the crash.
+        retry = runner.submit([request(tag="die-here")], batch=False)
+        assert retry.wait_done(timeout=60)
+        assert retry.slots[0].error is None
+        runner.drain()
+
+    def test_chaos_hook_is_inert_without_matching_tag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_CRASH_TAG", "other-tag")
+        runner = make_runner()
+        runner.start()
+        job = runner.submit([request(tag="unrelated")], batch=False)
+        assert job.wait_done(timeout=60)
+        assert job.slots[0].error is None
+        runner.drain()
+
+    def test_dedup_waiter_survives_owner_death(self, monkeypatch, tmp_path):
+        """A job waiting on a key whose owner dies recomputes the slot
+        instead of hanging or failing."""
+        monkeypatch.setenv("REPRO_SERVICE_CRASH_TAG", "owner-dies")
+        monkeypatch.setenv(
+            "REPRO_SERVICE_CRASH_ONCE", str(tmp_path / "owner.sentinel")
+        )
+        store = ResultStore(None)
+        runner = JobRunner(
+            store, JobRegistry(), queue_limit=8, workers=2, executor="serial"
+        )
+        runner.start()
+        # Two identical submissions race: whichever worker claims first
+        # dies (once); the other must still produce a real result.
+        first = runner.submit([request(tag="owner-dies")], batch=False)
+        second = runner.submit([request(tag="owner-dies")], batch=False)
+        assert first.wait_done(timeout=60) and second.wait_done(timeout=60)
+        outcomes = {first.slots[0].error, second.slots[0].error}
+        # One job was on the dying thread (typed failure); at least one
+        # real result must exist and nothing may hang.
+        assert None in outcomes or outcomes == {"ServiceError"}
+        runner.drain()

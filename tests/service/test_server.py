@@ -344,3 +344,167 @@ class TestClientTransport:
         service, _ = service_pair
         client = ServiceClient(f"127.0.0.1:{service.port}")
         assert client.health()["status"] in ("ok", "draining")
+
+
+class TestOverloadSignaling:
+    """Refusals carry machine-readable back-off and identity semantics."""
+
+    def test_429_carries_retry_after(self, make_service, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "hintslow")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "1.5")
+        _, client = make_service(queue_limit=1, workers=1)
+        first = client.submit(small_sim(rate=0.02, tag="hintslow"))
+        assert wait_for(lambda: client.status(first.id)["status"] == "running")
+        client.submit(small_sim(rate=0.03, tag="hintslow"))
+        with pytest.raises(ServiceError, match="429") as excinfo:
+            client.submit(small_sim(rate=0.04))
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after >= 1.0
+
+    def test_draining_503_carries_retry_after(self, make_service, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "hintdrain")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "0.8")
+        service, client = make_service(workers=1)
+        ticket = client.submit(small_sim(rate=0.022, tag="hintdrain"))
+        assert wait_for(lambda: client.status(ticket.id)["status"] == "running")
+        service.request_shutdown()
+        with pytest.raises(ServiceError, match="503") as excinfo:
+            client.submit(small_sim(rate=0.09))
+        assert excinfo.value.retry_after is not None
+        service.shutdown(timeout=120)
+
+    def test_client_quota_is_enforced_over_http(
+        self, make_service, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "quotaslow")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "1.5")
+        service, _ = make_service(client_quota=1, workers=1)
+        alice = ServiceClient(
+            f"http://127.0.0.1:{service.port}", client_id="alice"
+        )
+        bob = ServiceClient(f"http://127.0.0.1:{service.port}", client_id="bob")
+        first = alice.submit(small_sim(rate=0.02, tag="quotaslow"))
+        assert wait_for(lambda: alice.status(first.id)["status"] == "running")
+        with pytest.raises(ServiceError, match="QuotaExceededError") as excinfo:
+            alice.submit(small_sim(rate=0.03, tag="quotaslow"))
+        assert excinfo.value.retry_after is not None
+        # Bob's identity has its own quota: his submission lands.
+        bob.submit(small_sim(rate=0.04, tag="quotaslow"))
+
+    def test_invalid_priority_header_is_400(self, make_service):
+        service, _ = make_service()
+        hacker = ServiceClient(
+            f"http://127.0.0.1:{service.port}", priority="urgent"
+        )
+        with pytest.raises(ServiceError, match="400"):
+            hacker.submit(small_sim(rate=0.05))
+
+    def test_job_envelope_reports_client_and_priority(self, make_service):
+        service, _ = make_service()
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}",
+            client_id="alice",
+            priority="high",
+        )
+        ticket = client.submit(small_sim(rate=0.051))
+        envelope = client.status(ticket.id)
+        assert envelope["client"] == "alice"
+        assert envelope["priority"] == "high"
+        assert envelope["recovered"] is False
+
+    def test_retrying_client_rides_out_a_full_queue(
+        self, make_service, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SLOW_TAG", "rideout")
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "0.6")
+        service, client = make_service(queue_limit=1, workers=1)
+        first = client.submit(small_sim(rate=0.02, tag="rideout"))
+        assert wait_for(lambda: client.status(first.id)["status"] == "running")
+        client.submit(small_sim(rate=0.03, tag="rideout"))
+        # The queue is now full; a retrying client backs off (honoring
+        # Retry-After) until a slot frees and the submission lands.
+        patient = ServiceClient(
+            f"http://127.0.0.1:{service.port}",
+            timeout=60.0,
+            retries=8,
+            backoff=0.2,
+            backoff_max=1.0,
+        )
+        ticket = patient.submit(small_sim(rate=0.04))
+        assert patient.wait(ticket.id, timeout=60) is not None
+
+
+class TestCrashRecovery:
+    """The journal's promise over the full service lifecycle, in-process.
+
+    (The kill -9 subprocess version lives in scripts/chaos_smoke.py.)
+    """
+
+    def test_journaled_job_replays_under_its_original_id(
+        self, make_service, tmp_path
+    ):
+        from repro.api import run_map
+        from repro.service import JobJournal, canonical_response_bytes
+
+        request = MapRequest(app="vopd", price_bandwidth=False)
+        store_root = tmp_path / "store"
+        store_root.mkdir(parents=True, exist_ok=True)
+        # Simulate the post-crash state: an accepted record, no tombstone.
+        journal = JobJournal(store_root / "journal.ndjson")
+        journal.record_accepted("precrash", [request.to_dict()], batch=False)
+        journal.close()
+
+        _, client = make_service(store_root=str(store_root))
+        # The pre-crash job id resolves immediately and completes.
+        assert wait_for(
+            lambda: client.status("precrash")["status"] == "done", timeout=60
+        )
+        envelope = client.status("precrash")
+        assert envelope["recovered"] is True
+        # Byte identity: the replayed result is exactly what a local run
+        # produces (the chaos-smoke proves the same across kill -9).
+        assert client.result_raw("precrash") == canonical_response_bytes(
+            run_map(request)
+        )
+
+    def test_recovery_skips_finished_jobs(self, make_service, tmp_path):
+        from repro.service import JobJournal
+
+        store_root = tmp_path / "store"
+        store_root.mkdir(parents=True, exist_ok=True)
+        journal = JobJournal(store_root / "journal.ndjson")
+        journal.record_accepted(
+            "finished", [MAP_REQUEST.to_dict()], batch=False
+        )
+        journal.record_finished("finished")
+        journal.close()
+        _, client = make_service(store_root=str(store_root))
+        with pytest.raises(ServiceError, match="404"):
+            client.status("finished")
+
+    def test_no_recover_starts_fresh(self, make_service, tmp_path):
+        from repro.service import JobJournal
+
+        store_root = tmp_path / "store"
+        store_root.mkdir(parents=True, exist_ok=True)
+        journal = JobJournal(store_root / "journal.ndjson")
+        journal.record_accepted("ignored", [MAP_REQUEST.to_dict()], batch=False)
+        journal.close()
+        _, client = make_service(store_root=str(store_root), recover=False)
+        with pytest.raises(ServiceError, match="404"):
+            client.status("ignored")
+
+    def test_health_reports_journal_counters(self, service_pair):
+        _, client = service_pair
+        ticket = client.submit(small_sim(rate=0.052))
+        client.wait(ticket.id, timeout=60)
+        journal = client.health()["journal"]
+        assert journal is not None
+        assert journal["accepted"] >= 1
+        assert wait_for(
+            lambda: client.health()["journal"]["pending"] == 0, timeout=30
+        )
+
+    def test_journal_disabled_without_store_or_path(self, make_service):
+        _, client = make_service(store_root=None)
+        assert client.health()["journal"] is None

@@ -177,3 +177,124 @@ class TestInFlightDedup:
         state, data = store.claim(KEY)
         assert state == "hit"
         assert data == entry_bytes()
+
+
+def keyed(index: int) -> str:
+    """Distinct 64-hex-char keys, stable per index."""
+    return f"{index:02x}" * 32
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBoundedDisk:
+    """The eviction ladder: TTL expiry, LRU cap, in-flight protection."""
+
+    def test_ttl_expiry_reads_as_miss_and_unlinks(self, tmp_path):
+        clock = FakeClock()
+        store = ResultStore(tmp_path, ttl=60.0, clock=clock)
+        store.put(KEY, entry_bytes())
+        clock.advance(59.0)
+        assert store.get(KEY) == entry_bytes()  # still fresh (and touched)
+        clock.advance(59.0)
+        assert store.get(KEY) == entry_bytes()  # the touch reset the clock
+        clock.advance(61.0)
+        assert store.get(KEY) is None
+        assert not store.path_for(KEY).exists()
+        assert store.stats()["ttl_expired"] == 1
+
+    def test_ttl_expiry_in_memory_tier(self):
+        clock = FakeClock()
+        store = ResultStore(None, ttl=10.0, clock=clock)
+        store.put(KEY, entry_bytes())
+        clock.advance(11.0)
+        assert store.get(KEY) is None
+        assert store.stats()["ttl_expired"] == 1
+
+    def test_size_cap_evicts_least_recently_read(self, tmp_path):
+        clock = FakeClock()
+        size = len(entry_bytes())
+        store = ResultStore(tmp_path, max_bytes=3 * size, clock=clock)
+        for index in range(3):
+            store.put(keyed(index), entry_bytes())
+            clock.advance(1.0)
+        # Touch key 0: key 1 becomes the LRU victim.
+        assert store.get(keyed(0)) is not None
+        clock.advance(1.0)
+        store.put(keyed(3), entry_bytes())
+        assert store.get(keyed(1)) is None, "LRU entry should have been evicted"
+        for index in (0, 2, 3):
+            assert store.get(keyed(index)) is not None
+        assert store.stats()["evicted"] == 1
+        assert store.stats()["bytes"] <= 3 * size
+
+    def test_sustained_writes_keep_disk_bounded(self, tmp_path):
+        size = len(entry_bytes())
+        cap = 5 * size
+        store = ResultStore(tmp_path, max_bytes=cap)
+        for index in range(50):
+            store.put(keyed(index), entry_bytes())
+        assert store.stats()["bytes"] <= cap
+        assert store.stats()["entries"] <= 5
+        namespace = store.namespace
+        on_disk = sum(
+            entry.stat().st_size
+            for shard in namespace.iterdir()
+            for entry in shard.iterdir()
+        )
+        assert on_disk <= cap
+
+    def test_inflight_keys_are_never_evicted(self, tmp_path):
+        size = len(entry_bytes())
+        store = ResultStore(tmp_path, max_bytes=2 * size)
+        assert store.claim(keyed(0))[0] == "owned"
+        store.publish(keyed(0), entry_bytes())
+        # A waiter is now parked on key 1's computation.
+        assert store.claim(keyed(1))[0] == "owned"
+        waited: list[bytes | None] = []
+        thread = threading.Thread(
+            target=lambda: waited.append(store.wait(keyed(1), 10))
+        )
+        thread.start()
+        # These writes overflow the cap, but key 1 is in flight: its
+        # eventual publish must reach the waiter untouched.
+        for index in range(2, 6):
+            store.put(keyed(index), entry_bytes())
+        store.publish(keyed(1), entry_bytes("published"))
+        thread.join(timeout=30)
+        assert waited == [entry_bytes("published")]
+
+    def test_recency_survives_restart_via_mtimes(self, tmp_path):
+        import os
+        import time
+
+        first = ResultStore(tmp_path, max_bytes=10_000)
+        for index in range(3):
+            first.put(keyed(index), entry_bytes())
+        # Make key 0 the most recently used on disk, unambiguously.
+        now = time.time()
+        os.utime(first.path_for(keyed(1)), (now - 200, now - 200))
+        os.utime(first.path_for(keyed(2)), (now - 100, now - 100))
+        os.utime(first.path_for(keyed(0)), (now, now))
+
+        size = len(entry_bytes())
+        second = ResultStore(tmp_path, max_bytes=3 * size)
+        assert second.stats()["entries"] == 3
+        second.put(keyed(3), entry_bytes())
+        # The restart-seeded LRU order evicts key 1 (oldest mtime).
+        assert second.get(keyed(1)) is None
+        assert second.get(keyed(0)) is not None
+
+    def test_unbounded_store_reports_no_tracking_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, entry_bytes())
+        stats = store.stats()
+        assert "bytes" not in stats and "entries" not in stats
