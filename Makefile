@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-properties bench-smoke bench smoke fault-smoke serve-smoke chaos-smoke
+.PHONY: check test test-properties bench-smoke bench smoke fault-smoke serve-smoke chaos-smoke shard-smoke
 
 # What CI runs on every push: the equivalence property suite first (its own
 # stage, so an engine or fastpath-vs-scalar divergence fails loudly and
@@ -11,7 +11,7 @@ export PYTHONPATH := src
 # run_bench.py); --enforce-floors applies the per-kernel FLOORS on top —
 # together they catch order-of-magnitude regressions without flaking on
 # loaded runners.
-check: test-properties test bench-smoke smoke fault-smoke serve-smoke chaos-smoke
+check: test-properties test bench-smoke smoke fault-smoke serve-smoke chaos-smoke shard-smoke
 
 # tests/properties is excluded here only because `check` already ran it in
 # its own stage; run `pytest -x -q` bare for the complete tier-1 sweep.
@@ -34,6 +34,7 @@ bench-smoke:
 smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) -m repro.cli list-engines
+	$(PYTHON) -m repro.cli partition --topology mesh:16x16 --shards 4
 	$(PYTHON) -m repro.cli map --app vopd --topology torus:4x4
 	$(PYTHON) -m repro.cli simulate --app dsp --engine event --traffic uniform \
 		--injection-rate 0.05 --vcs 2 --cycles 2000
@@ -67,6 +68,13 @@ serve-smoke:
 # past a torn journal tail.
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
+
+# Partition/sharded-engine smoke: cut a 16x16 mesh 4 ways and prove the
+# four-worker sharded engine's report and flit trace are byte-identical
+# to the single-process cycle engine's (scripts/shard_smoke.py asserts
+# it).  Skips itself cleanly where the fork start method is unavailable.
+shard-smoke:
+	$(PYTHON) scripts/shard_smoke.py
 
 # The full bench refreshes the committed BENCH_perf.json (run before a PR).
 bench:

@@ -336,6 +336,52 @@ def bench_simulate_vopd_saturation_event(smoke: bool):
     return kernel, {**extra, "engines": "event-vs-cycle"}
 
 
+def bench_simulate_24x24_sharded(smoke: bool):
+    """Sharded parallel engine (4 workers) vs one-process vector, 24x24 mesh.
+
+    The scale the partition subsystem exists for: a 576-node fabric at
+    saturation, cut 4 ways by the greedy-edge partitioner, one worker
+    process per shard exchanging boundary flits at cycle barriers.  Both
+    sides run with fast paths on and JIT pinned off, so the ratio is the
+    parallel protocol vs the same interpreted per-cycle sweep — engine
+    choice is the only variable.  The 1.5x floor binds only on hosts with
+    at least 4 CPUs (see ``FLOOR_MIN_CPUS``): on fewer cores the workers
+    time-slice one core and the barrier overhead makes the ratio *below*
+    1x, which the committed JSON records honestly rather than hiding.
+    """
+    mesh = NoCTopology.mesh(24, 24, link_bandwidth=1600.0)
+    config = SimConfig(
+        warmup_cycles=100 if smoke else 300,
+        measure_cycles=300 if smoke else 1_500,
+        drain_cycles=100 if smoke else 500,
+        seed=7,
+    )
+    workers = 4
+
+    def kernel():
+        engine = "sharded" if fastpath.fast_paths_enabled() else "vector"
+        with fastpath.fast_paths(), _no_jit():
+            network = build_synthetic_network(mesh, config, "uniform", 0.30)
+            if engine == "sharded":
+                sim = Simulator(
+                    network,
+                    engine="sharded",
+                    shards=workers,
+                    partitioner="greedy-edge",
+                )
+            else:
+                sim = Simulator(network, engine="vector")
+            return sim.run()
+
+    return kernel, {
+        "cycles_per_round": config.total_cycles,
+        "load": 0.30,
+        "engines": "sharded4-vs-vector",
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+    }
+
+
 def bench_simulate_vopd_saturation_active_set(smoke: bool):
     """Vector engine vs the cycle engine *with fast paths on*, at saturation.
 
@@ -366,6 +412,7 @@ KERNELS = {
     "simulate_vopd_saturation_jit": bench_simulate_vopd_saturation_jit,
     "simulate_vopd_saturation_event": bench_simulate_vopd_saturation_event,
     "simulate_vopd_saturation_active_set": bench_simulate_vopd_saturation_active_set,
+    "simulate_24x24_sharded": bench_simulate_24x24_sharded,
     "latency_sweep_replica_batch": bench_latency_sweep_replica_batch,
 }
 
@@ -383,7 +430,28 @@ FLOORS = {
     "simulate_dsp_low_load": 2.0,
     "comm_cost_vopd": 2.0,
     "swap_deltas_65_cores": 2.0,
+    "simulate_24x24_sharded": 1.5,
 }
+
+#: Floors that only bind with enough CPU cores.  The sharded engine's win
+#: is multi-core parallelism; on a host with fewer cores than workers the
+#: speedup is physically unreachable, so the floor is waived (recorded in
+#: the JSON as ``floor_waived``) instead of failing CI on small runners.
+FLOOR_MIN_CPUS = {
+    "simulate_24x24_sharded": 4,
+}
+
+
+def _effective_floor(name: str) -> tuple[float | None, str | None]:
+    """The floor that applies on this host, and the waiver reason if any."""
+    floor = FLOORS.get(name)
+    needed = FLOOR_MIN_CPUS.get(name)
+    cpus = os.cpu_count() or 1
+    if floor is not None and needed is not None and cpus < needed:
+        return None, (
+            f"floor {floor} waived: needs >= {needed} CPUs, host has {cpus}"
+        )
+    return floor, None
 
 #: Documentation kernels: they exist to *record* a ratio (the event
 #: engine's ~1x collapse at saturation), not to win one, so the global
@@ -393,6 +461,9 @@ UNGUARDED = {
     "simulate_vopd_saturation_event",
     "simulate_vopd_saturation_active_set",
     "latency_sweep_replica_batch",
+    # Guarded by its FLOOR (with the CPU-count waiver) instead of the
+    # global gate: on hosts below FLOOR_MIN_CPUS the honest ratio is < 1x.
+    "simulate_24x24_sharded",
 }
 
 
@@ -411,12 +482,14 @@ def run_benches(smoke: bool, rounds: int) -> dict:
             fast = _median_seconds(kernel, rounds)
         with fastpath.scalar_reference():
             baseline = _median_seconds(kernel, rounds)
+        floor, waived = _effective_floor(name)
         results[name] = {
             "fast_median_s": fast,
             "seed_baseline_median_s": baseline,
             "speedup": baseline / fast if fast > 0 else float("inf"),
             "rounds": rounds,
-            "floor": FLOORS.get(name),
+            "floor": floor,
+            **({"floor_waived": waived} if waived else {}),
             **extra,
         }
         print(

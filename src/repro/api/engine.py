@@ -323,7 +323,13 @@ def _prepare_sim(request: SimRequest):
     map_response = _build_map_response(
         request.map_request, topology, result, price_bandwidth=False
     )
-    return Simulator(network, engine=options.engine), map_response
+    sim = Simulator(
+        network,
+        engine=options.engine,
+        shards=options.shards,
+        partitioner=options.partitioner,
+    )
+    return sim, map_response
 
 
 def run_sim(request: SimRequest) -> SimResponse:

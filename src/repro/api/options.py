@@ -146,6 +146,28 @@ class GmapOptions(MapperOptions):
 
 
 @dataclass(frozen=True)
+class HmapOptions(MapperOptions):
+    """Knobs of :func:`repro.mapping.hmap.hmap` (partition-aware mapper)."""
+
+    regions: int | None = None
+    partitioner: str = "auto"
+    refine: bool = True
+
+    def validate(self) -> None:
+        if self.regions is not None and self.regions < 1:
+            raise ApiError(f"regions must be >= 1, got {self.regions}")
+        if self.partitioner != "auto":
+            from repro.partition import list_partitioners
+
+            if self.partitioner not in list_partitioners():
+                raise ApiError(
+                    "partitioner must be 'auto' or one of "
+                    f"{', '.join(list_partitioners())}, "
+                    f"got {self.partitioner!r}"
+                )
+
+
+@dataclass(frozen=True)
 class PbbOptions(MapperOptions):
     """Knobs of :func:`repro.mapping.pbb.pbb` (the paper's runtime budget)."""
 

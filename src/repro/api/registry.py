@@ -94,7 +94,16 @@ _REGISTRY: dict[str, MapperEntry] = {}
 #: Presentation order for surfaces that list mappers (the paper's order:
 #: NMAP variants first, then the compared baselines, then extensions).
 #: Registered names missing from this list sort after it, alphabetically.
-_CANONICAL_ORDER = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
+_CANONICAL_ORDER = (
+    "nmap",
+    "nmap-tm",
+    "nmap-ta",
+    "pmap",
+    "gmap",
+    "pbb",
+    "annealing",
+    "hmap",
+)
 
 
 def register_mapper(

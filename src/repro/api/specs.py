@@ -408,6 +408,15 @@ class SimOptions:
             router.
         vc_buffer_depth: per-VC input FIFO depth; None shares the global
             ``buffer_depth``.
+        shards: worker-process count for the ``sharded`` engine; rejected
+            for every other engine.  None lets the engine default (2).
+        partitioner: fabric partitioner for the ``sharded`` engine
+            (``"auto"`` walks the metis -> greedy-edge -> round-robin
+            ladder); rejected for every other engine.
+
+    The two sharding knobs serialize only when set, so requests that do
+    not use them keep their canonical key (and cached results) from
+    before the knobs existed.
     """
 
     engine: str = "cycle"
@@ -415,6 +424,8 @@ class SimOptions:
     injection_rate: float | None = None
     num_vcs: int = 1
     vc_buffer_depth: int | None = None
+    shards: int | None = None
+    partitioner: str | None = None
 
     def __post_init__(self) -> None:
         from repro.simnoc import list_engines, list_traffic_patterns
@@ -454,21 +465,54 @@ class SimOptions:
                 raise ApiError(
                     f"vc_buffer_depth must be >= 2, got {self.vc_buffer_depth}"
                 )
+        if self.engine != "sharded":
+            if self.shards is not None or self.partitioner is not None:
+                raise ApiError(
+                    "shards/partitioner only apply to the sharded engine, "
+                    f"got engine={self.engine!r}"
+                )
+        else:
+            if self.shards is not None and self.shards < 1:
+                raise ApiError(f"shards must be >= 1, got {self.shards}")
+            if self.partitioner is not None and self.partitioner != "auto":
+                from repro.partition import list_partitioners
+
+                if self.partitioner not in list_partitioners():
+                    raise ApiError(
+                        "partitioner must be 'auto' or one of "
+                        f"{', '.join(list_partitioners())}, "
+                        f"got {self.partitioner!r}"
+                    )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "engine": self.engine,
             "traffic": self.traffic,
             "injection_rate": self.injection_rate,
             "num_vcs": self.num_vcs,
             "vc_buffer_depth": self.vc_buffer_depth,
         }
+        # Emitted only when set: pre-sharding requests keep their exact
+        # canonical blob (and content-addressed cache entries).
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        if self.partitioner is not None:
+            payload["partitioner"] = self.partitioner
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "SimOptions":
         if not isinstance(payload, dict):
             raise ApiError(f"sim options payload must be a dict, got {payload!r}")
-        known = {"engine", "traffic", "injection_rate", "num_vcs", "vc_buffer_depth"}
+        known = {
+            "engine",
+            "traffic",
+            "injection_rate",
+            "num_vcs",
+            "vc_buffer_depth",
+            "shards",
+            "partitioner",
+        }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ApiError(f"unknown sim option(s): {', '.join(unknown)}")
@@ -478,6 +522,8 @@ class SimOptions:
             injection_rate=payload.get("injection_rate"),
             num_vcs=payload.get("num_vcs", 1),
             vc_buffer_depth=payload.get("vc_buffer_depth"),
+            shards=payload.get("shards"),
+            partitioner=payload.get("partitioner"),
         )
 
 

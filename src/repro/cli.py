@@ -13,6 +13,8 @@ Subcommands:
   figures; optional JSON/DOT output.
 * ``simulate`` — run the packet-level simulator on a mapped application and
   report latency statistics.
+* ``partition`` — cut a fabric into shards (for the sharded engine and the
+  hmap mapper) and report edge-cut/balance statistics.
 * ``design`` — compile the mapped NoC and emit the SystemC-style netlist.
 * ``compare`` — run several algorithms on one app; optional JSON output.
 * ``experiment`` — regenerate a paper table/figure (or ``all``).
@@ -153,7 +155,56 @@ def _cmd_list_engines(_args: argparse.Namespace) -> int:
     for row in jit.available_backends():
         status = "available  " if row["available"] else "unavailable"
         print(f"  {row['name']:8s} {status} {row['reason']}")
+    from repro.partition import available_partitioners, resolve_partitioner
+
+    resolved, detail = resolve_partitioner("auto")
+    print(f"sharded-engine partitioners (auto resolves: {resolved}; {detail}):")
+    for row in available_partitioners():
+        status = "available  " if row["available"] else "unavailable"
+        print(f"  {row['name']:12s} {status} {row['reason']}")
     return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.partition import partition_topology
+
+    topology = _build_bare_topology(args.topology)
+    spec = partition_topology(topology, args.shards, args.method)
+    if args.json:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"topology    : {args.topology}")
+    print(f"partitioner : {spec.method}")
+    print(f"shards      : {spec.num_shards} (sizes {list(spec.shard_sizes)})")
+    print(
+        f"edge cut    : {spec.edge_cut} of {spec.num_edges} links "
+        f"({spec.cut_fraction * 100:.1f}%)"
+    )
+    print(f"balance     : {spec.balance:.3f} (max shard / ideal)")
+    if args.out_json:
+        Path(args.out_json).write_text(
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out_json}")
+    return 0
+
+
+def _build_bare_topology(text: str):
+    """A concrete :class:`NoCTopology` from a ``mesh:WxH``-style spec.
+
+    ``partition`` has no application in play, so ``auto`` (which sizes the
+    grid to an app) is rejected here.
+    """
+    from repro.graphs.topology import NoCTopology
+
+    spec = TopologySpec.parse(text)
+    if spec.kind == "auto":
+        raise ApiError(
+            "partition needs explicit dimensions, e.g. mesh:16x16"
+        )
+    if spec.kind == "torus":
+        return NoCTopology.torus_grid(spec.width, spec.height)
+    return NoCTopology.mesh(spec.width, spec.height)
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -200,6 +251,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             injection_rate=args.injection_rate,
             num_vcs=args.vcs,
             vc_buffer_depth=args.vc_depth,
+            shards=args.shards,
+            partitioner=args.partitioner,
         ),
     )
     response = run_sim(request)
@@ -516,7 +569,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-VC buffer depth in flits (default: the global buffer depth)",
     )
     p_sim.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker-process count for --engine sharded (default: 2)",
+    )
+    p_sim.add_argument(
+        "--partitioner",
+        default=None,
+        help="fabric partitioner for --engine sharded: auto (default; "
+        "metis -> greedy-edge -> round-robin ladder) or a name from "
+        "'list-engines'",
+    )
+    p_sim.add_argument(
         "--out-json", default=None, help="write the SimResponse JSON here"
+    )
+
+    p_part = sub.add_parser(
+        "partition",
+        help="partition a fabric into shards and report cut statistics",
+    )
+    p_part.add_argument(
+        "--topology",
+        required=True,
+        help="explicit fabric spec like 'mesh:16x16' or 'torus:8x8'",
+    )
+    p_part.add_argument(
+        "--shards", type=int, required=True, help="number of shards"
+    )
+    p_part.add_argument(
+        "--method",
+        default="auto",
+        help="partitioner name or 'auto' (metis -> greedy-edge -> "
+        "round-robin ladder)",
+    )
+    p_part.add_argument(
+        "--json",
+        action="store_true",
+        help="print the PartitionSpec JSON instead of the summary",
+    )
+    p_part.add_argument(
+        "--out-json", default=None, help="write the PartitionSpec JSON here"
     )
 
     p_design = sub.add_parser("design", help="compile the NoC and emit a netlist")
@@ -721,6 +814,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-engines": _cmd_list_engines,
         "map": _cmd_map,
         "simulate": _cmd_simulate,
+        "partition": _cmd_partition,
         "design": _cmd_design,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,

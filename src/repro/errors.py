@@ -25,6 +25,16 @@ class MappingError(ReproError):
     """A core-to-node mapping is invalid, incomplete, or impossible."""
 
 
+class PartitionError(ReproError):
+    """A fabric partition is malformed or a partitioner cannot run.
+
+    Raised by :mod:`repro.partition` for invalid shard counts (non-positive,
+    or more shards than routers), malformed :class:`PartitionSpec` payloads,
+    unknown partitioner names, and explicitly requested partitioners whose
+    optional dependency (metis) is not installed.
+    """
+
+
 class RoutingError(ReproError):
     """A routing request cannot be carried out on the given topology."""
 

@@ -36,6 +36,7 @@ def run_latency_sweep(
     measure_cycles: int = 4_000,
     engine: str = "auto",
     num_vcs: int = 1,
+    shards: int | None = None,
     workers: int | None = None,
     executor: str = "thread",
     service_url: str | None = None,
@@ -48,8 +49,13 @@ def run_latency_sweep(
         mesh: topology spec string for the fabric under test.
         measure_cycles: measurement window per point.
         engine: simulation backend for every point (``"auto"`` picks
-            event at low load, vector at high load, per point).
+            event at low load, vector at high load, per point;
+            ``"sharded"`` fans each point across shard workers — pair it
+            with serial-ish executors, not ``"process"``, to avoid
+            oversubscribing cores).
         num_vcs: virtual channels per link (1 = the paper's router).
+        shards: shard-worker count per point for the ``sharded`` engine
+            (None lets the engine default; rejected for other engines).
         workers: worker count for the request batch.
         executor: ``"thread"``, ``"process"`` (multi-core sweeps) or
             ``"replica"`` — all vector-engine points advance together in
@@ -83,6 +89,7 @@ def run_latency_sweep(
                 traffic=pattern,
                 injection_rate=rate,
                 num_vcs=num_vcs,
+                shards=shards,
             ),
         )
         for pattern in patterns

@@ -18,6 +18,7 @@ from repro.mapping.annealing import annealing_mapping
 from repro.mapping.base import Mapping, MappingResult
 from repro.mapping.exhaustive import exhaustive_best_mapping
 from repro.mapping.gmap import gmap
+from repro.mapping.hmap import hmap
 from repro.mapping.initializer import initial_mapping
 from repro.mapping.nmap import evaluate_single_path, nmap_single_path
 from repro.mapping.nmap_split import nmap_with_splitting
@@ -32,6 +33,7 @@ __all__ = [
     "evaluate_single_path",
     "exhaustive_best_mapping",
     "gmap",
+    "hmap",
     "initial_mapping",
     "nmap_single_path",
     "nmap_with_splitting",

@@ -1,0 +1,154 @@
+"""Partitioner registry and the metis -> greedy-edge -> round-robin ladder.
+
+Mirrors the two registry idioms already in the tree: partitioners
+self-register under a name like engines and mappers do, and availability
+introspection follows the JIT backend ladder
+(:func:`repro.simnoc.engines.jit.available_backends`) — each rung reports
+``available`` plus a human-readable reason, ``resolve_partitioner`` walks
+the ladder for ``"auto"``, and an environment kill switch
+(``REPRO_NO_METIS``) pins the pure-python rungs for CI's fallback-rot
+guard, exactly like ``REPRO_NO_JIT`` does for the compiled kernels.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Callable
+
+from repro.errors import PartitionError
+from repro.partition.spec import PartitionSpec
+
+logger = logging.getLogger("repro.partition")
+
+#: name -> (fn(topology, num_shards) -> PartitionSpec, summary)
+_PARTITIONERS: dict[str, tuple[Callable, str]] = {}
+
+#: Ladder order for ``"auto"``: best cut quality first.
+_LADDER = ("metis", "greedy-edge", "round-robin")
+
+#: Warn once per process when ``auto`` falls past an unavailable rung.
+_warned_fallback = False
+
+
+def register_partitioner(name: str, *, summary: str = ""):
+    """Function decorator registering a partitioner under ``name``."""
+
+    def decorate(fn):
+        if name in _PARTITIONERS:
+            raise PartitionError(f"partitioner {name!r} is already registered")
+        _PARTITIONERS[name] = (fn, summary)
+        return fn
+
+    return decorate
+
+
+def list_partitioners() -> tuple[str, ...]:
+    """All registered partitioner names, ladder order first."""
+    _ensure_loaded()
+    ordered = [name for name in _LADDER if name in _PARTITIONERS]
+    ordered.extend(sorted(set(_PARTITIONERS) - set(_LADDER)))
+    return tuple(ordered)
+
+
+def partitioner_availability(name: str) -> tuple[bool, str]:
+    """Whether ``name`` can run here, with the reason it can't."""
+    _ensure_loaded()
+    if name not in _PARTITIONERS:
+        raise PartitionError(
+            f"unknown partitioner {name!r}; known: "
+            f"{', '.join(list_partitioners())}"
+        )
+    if name == "metis":
+        from repro.partition.algorithms import metis_module
+
+        module, reason = metis_module()
+        return (module is not None), reason
+    return True, "pure python, always available"
+
+
+def available_partitioners() -> list[dict]:
+    """Ladder introspection rows, shaped like ``jit.available_backends``."""
+    rows = []
+    for name in list_partitioners():
+        available, reason = partitioner_availability(name)
+        rows.append({"name": name, "available": available, "reason": reason})
+    return rows
+
+
+def resolve_partitioner(name: str = "auto") -> tuple[str, str]:
+    """Resolve ``name`` to a runnable partitioner: ``(name, reason)``.
+
+    ``"auto"`` walks the ladder and returns the first available rung,
+    logging one warning per process when the preferred rung is missing;
+    a concrete name resolves to itself when available and raises
+    otherwise (skip-with-reason is the caller's job — tests do exactly
+    that for metis).
+    """
+    global _warned_fallback
+    _ensure_loaded()
+    if name == "auto":
+        skipped: list[str] = []
+        for rung in list_partitioners():
+            available, reason = partitioner_availability(rung)
+            if available:
+                if skipped and not _warned_fallback:
+                    _warned_fallback = True
+                    logger.warning(
+                        "partitioner auto-ladder: %s unavailable, "
+                        "falling back to %s",
+                        ", ".join(skipped),
+                        rung,
+                    )
+                detail = (
+                    f"auto ladder (skipped: {', '.join(skipped)})"
+                    if skipped
+                    else "auto ladder, first rung"
+                )
+                return rung, detail
+            skipped.append(f"{rung} ({reason})")
+        raise PartitionError(
+            f"no partitioner available: {'; '.join(skipped)}"
+        )
+    available, reason = partitioner_availability(name)
+    if not available:
+        raise PartitionError(f"partitioner {name!r} unavailable: {reason}")
+    return name, "requested explicitly"
+
+
+def partition_topology(
+    topology, num_shards: int, method: str = "auto"
+) -> PartitionSpec:
+    """Partition ``topology`` into ``num_shards`` shards.
+
+    Raises:
+        PartitionError: for a non-positive or oversubscribed shard count,
+            an unknown method, or an explicitly requested but unavailable
+            one.
+    """
+    if num_shards < 1:
+        raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > topology.num_nodes:
+        raise PartitionError(
+            f"cannot split {topology.num_nodes} routers into "
+            f"{num_shards} non-empty shards"
+        )
+    resolved, _ = resolve_partitioner(method)
+    fn, _ = _PARTITIONERS[resolved]
+    spec = fn(topology, num_shards)
+    if spec.num_shards != num_shards:
+        raise PartitionError(
+            f"partitioner {resolved!r} produced {spec.num_shards} "
+            f"non-empty shards, {num_shards} were requested"
+        )
+    return spec
+
+
+def no_metis() -> bool:
+    """The ``REPRO_NO_METIS`` kill switch (mirrors ``REPRO_NO_JIT``)."""
+    return bool(os.environ.get("REPRO_NO_METIS"))
+
+
+def _ensure_loaded() -> None:
+    """Import the algorithm module so its decorators have run."""
+    import repro.partition.algorithms  # noqa: F401

@@ -78,4 +78,5 @@ def _ensure_engines_loaded() -> None:
     import repro.simnoc.engines.auto  # noqa: F401
     import repro.simnoc.engines.cycle  # noqa: F401
     import repro.simnoc.engines.event  # noqa: F401
+    import repro.simnoc.engines.sharded  # noqa: F401
     import repro.simnoc.engines.vector  # noqa: F401

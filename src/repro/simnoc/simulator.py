@@ -75,8 +75,15 @@ class Simulator:
             compare against).  Ignored by the event engine.
         engine: registered engine name — ``"cycle"`` (bit-exact
             reference), ``"event"`` (heap-scheduled, skips dead time),
-            ``"vector"`` (structure-of-arrays, fastest at high load) or
-            ``"auto"`` (load-adaptive choice between the last two).
+            ``"vector"`` (structure-of-arrays, fastest at high load),
+            ``"sharded"`` (multi-process over a fabric partition) or
+            ``"auto"`` (load-adaptive choice between event and vector).
+        shards: worker count for the ``sharded`` engine (ignored by every
+            other engine; defaults to 2 when the sharded engine runs
+            without one).
+        partitioner: partitioner name for the ``sharded`` engine
+            (``"auto"`` walks the metis -> greedy-edge -> round-robin
+            ladder; ignored by every other engine).
     """
 
     def __init__(
@@ -85,12 +92,16 @@ class Simulator:
         trace=None,
         active_set: bool | None = None,
         engine: str = "cycle",
+        shards: int | None = None,
+        partitioner: str | None = None,
     ) -> None:
         self.network = network
         self.config = network.config
         self.trace = trace
         self.active_set = active_set
         self.engine_name = engine
+        self.shards = shards
+        self.partitioner = partitioner
         self._packet_counter = 0
         self.all_packets: list[Packet] = []
 

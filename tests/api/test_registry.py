@@ -19,11 +19,20 @@ from repro.errors import ApiError
 from repro.graphs.topology import NoCTopology
 from repro.mapping.base import MappingResult
 
-ADVERTISED = ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing")
+ADVERTISED = (
+    "nmap",
+    "nmap-tm",
+    "nmap-ta",
+    "pmap",
+    "gmap",
+    "pbb",
+    "annealing",
+    "hmap",
+)
 
 
 class TestCatalogue:
-    def test_all_seven_registered_in_order(self):
+    def test_all_advertised_registered_in_order(self):
         assert list_mappers() == ADVERTISED
 
     def test_entries_have_summaries_and_options(self):

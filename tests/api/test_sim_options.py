@@ -60,6 +60,35 @@ class TestSimOptionsValidation:
         with pytest.raises(ApiError, match="unknown sim option"):
             SimOptions.from_dict({"engnie": "cycle"})
 
+    def test_sharding_knobs_need_the_sharded_engine(self):
+        with pytest.raises(ApiError, match="sharded"):
+            SimOptions(engine="cycle", shards=2)
+        with pytest.raises(ApiError, match="sharded"):
+            SimOptions(engine="vector", partitioner="greedy-edge")
+
+    def test_bad_shard_values_rejected(self):
+        with pytest.raises(ApiError, match="shards"):
+            SimOptions(engine="sharded", shards=0)
+        with pytest.raises(ApiError, match="partitioner"):
+            SimOptions(engine="sharded", partitioner="kl")
+
+    def test_sharded_engine_accepts_the_knobs(self):
+        options = SimOptions(
+            engine="sharded", shards=4, partitioner="round-robin"
+        )
+        assert options.shards == 4
+        rebuilt = SimOptions.from_dict(
+            json.loads(json.dumps(options.to_dict()))
+        )
+        assert rebuilt == options
+
+    def test_unset_sharding_knobs_stay_out_of_the_payload(self):
+        """Canonical-key stability: requests that never mention sharding
+        must serialize exactly as they did before the knobs existed."""
+        payload = SimOptions().to_dict()
+        assert "shards" not in payload
+        assert "partitioner" not in payload
+
     def test_synthetic_traffic_rejects_explicit_routing(self):
         """Synthetic patterns always route XY; a contradictory routing
         request must fail at build time, not be silently ignored."""

@@ -1,0 +1,110 @@
+"""Unit tests for HMAP, the partition-aware hierarchical mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import get_mapper, list_mappers
+from repro.api.options import HmapOptions
+from repro.apps import vopd
+from repro.errors import ApiError, MappingError
+from repro.graphs.core_graph import CoreGraph
+from repro.graphs.topology import NoCTopology
+from repro.mapping.hmap import hmap
+
+
+class TestHmap:
+    def test_complete_and_valid(self, square_graph, mesh3x3):
+        result = hmap(square_graph, mesh3x3)
+        assert result.mapping.is_complete
+        assert result.algorithm == "hmap"
+        placed = [result.mapping.node_of(c) for c in square_graph.cores]
+        assert len(set(placed)) == len(placed)
+
+    def test_deterministic(self, square_graph, mesh4x4):
+        first = hmap(square_graph, mesh4x4)
+        second = hmap(square_graph, mesh4x4)
+        assert first.mapping == second.mapping
+        assert first.comm_cost == second.comm_cost
+
+    def test_vopd_feasible(self):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(
+            16, link_bandwidth=app.total_bandwidth()
+        )
+        result = hmap(app, mesh)
+        assert result.mapping.is_complete
+        assert result.feasible
+        assert result.comm_cost < float("inf")
+
+    @pytest.mark.parametrize("regions", [1, 2, 4])
+    def test_explicit_region_counts(self, regions):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(
+            16, link_bandwidth=app.total_bandwidth()
+        )
+        result = hmap(app, mesh, regions=regions)
+        assert result.mapping.is_complete
+
+    def test_partitioner_choice(self, square_graph, mesh4x4):
+        for method in ("greedy-edge", "round-robin"):
+            result = hmap(square_graph, mesh4x4, partitioner=method)
+            assert result.mapping.is_complete
+
+    def test_refine_never_hurts(self):
+        app = vopd()
+        mesh = NoCTopology.smallest_mesh_for(
+            16, link_bandwidth=app.total_bandwidth()
+        )
+        refined = hmap(app, mesh, refine=True)
+        unrefined = hmap(app, mesh, refine=False)
+        assert refined.comm_cost <= unrefined.comm_cost
+
+    def test_avoids_failed_routers(self, square_graph):
+        mesh = NoCTopology.mesh(3, 3, link_bandwidth=1000.0).with_failed_routers(
+            (4,)
+        )
+        result = hmap(square_graph, mesh)
+        used = {result.mapping.node_of(c) for c in square_graph.cores}
+        assert 4 not in used
+
+    def test_empty_rejected(self, mesh2x2):
+        with pytest.raises(MappingError):
+            hmap(CoreGraph(), mesh2x2)
+
+    def test_more_cores_than_nodes_rejected(self, mesh2x2):
+        graph = CoreGraph()
+        for i in range(5):
+            graph.add_traffic(f"c{i}", f"c{(i + 1) % 5}", 10.0)
+        with pytest.raises(MappingError):
+            hmap(graph, mesh2x2)
+
+
+class TestHmapRegistry:
+    def test_registered(self):
+        assert "hmap" in list_mappers()
+        entry = get_mapper("hmap")
+        assert entry.options_type is HmapOptions
+        assert not entry.seedable
+
+    def test_runs_via_registry(self, square_graph, mesh3x3):
+        entry = get_mapper("hmap")
+        result = entry.run(square_graph, mesh3x3)
+        assert result.mapping.is_complete
+        typed = entry.run(
+            square_graph, mesh3x3, HmapOptions(regions=2, refine=False)
+        )
+        assert typed.mapping.is_complete
+
+    def test_options_validation(self):
+        with pytest.raises(ApiError, match="regions"):
+            HmapOptions(regions=0).validate()
+        with pytest.raises(ApiError, match="partitioner"):
+            HmapOptions(partitioner="kl").validate()
+        HmapOptions(partitioner="round-robin").validate()
+
+    def test_options_round_trip(self):
+        options = HmapOptions(regions=3, partitioner="greedy-edge", refine=False)
+        assert HmapOptions.from_dict(options.to_dict()) == options
+        with pytest.raises(ApiError, match="unknown"):
+            HmapOptions.from_dict({"shards": 2})

@@ -17,6 +17,8 @@ dedicated injection-rate matrix below, at and above the saturation knee.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro import fastpath
@@ -455,6 +457,96 @@ class TestKernelTierEquivalence:
             VectorEngine().run(single)
             assert_reports_identical(sim._build_report(), single._build_report())
             assert recorder.events == single_recorder.events
+
+
+#: (topology kind, num_vcs, rate) -> (report, trace events) from the cycle
+#: engine — each reference is shared by the shards={1,2,4} sharded runs.
+_SHARDED_REFS: dict = {}
+
+
+def _sharded_scenario(topo_kind, num_vcs, rate):
+    """Network + config for one cell of the sharded equivalence matrix."""
+    if topo_kind == "mesh":
+        fabric = NoCTopology.mesh(8, 8, link_bandwidth=1600.0)
+    else:
+        fabric = NoCTopology.torus_grid(8, 8, link_bandwidth=1600.0)
+    config = SimConfig(
+        warmup_cycles=100,
+        measure_cycles=500,
+        drain_cycles=200,
+        seed=5,
+        num_vcs=num_vcs,
+        vc_buffer_depth=4 if num_vcs > 1 else None,
+    )
+    return build_synthetic_network(fabric, config, "uniform", rate)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded engine needs the fork start method",
+)
+class TestShardedEngineEquivalence:
+    """The sharded engine == cycle engine for ANY shard count.
+
+    The conservative barrier protocol (ARCHITECTURE.md) promises that
+    splitting the fabric across worker processes changes wall-clock
+    behaviour only: reports and flit traces stay byte-identical to the
+    single-process reference for every shard count, both router models,
+    and loads below, at and above the saturation knee.  Shards=1 pins the
+    degenerate case (one worker, no boundary traffic); shards=4 on the
+    torus cuts wrap-around links, the hardest boundary pattern.
+    """
+
+    RATES = (0.05, 0.22, 0.40)
+
+    @staticmethod
+    def _cycle_reference(topo_kind, num_vcs, rate):
+        key = (topo_kind, num_vcs, rate)
+        if key not in _SHARDED_REFS:
+            network = _sharded_scenario(*key)
+            recorder = TraceRecorder(max_events=10**6)
+            report = Simulator(network, trace=recorder, engine="cycle").run()
+            _SHARDED_REFS[key] = (report, recorder.events)
+        return _SHARDED_REFS[key]
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    @pytest.mark.parametrize("num_vcs", (1, 2))
+    @pytest.mark.parametrize("topo_kind", ("mesh", "torus"))
+    @pytest.mark.parametrize("rate", RATES)
+    def test_reports_and_traces_match_cycle(self, topo_kind, num_vcs, rate, shards):
+        network = _sharded_scenario(topo_kind, num_vcs, rate)
+        recorder = TraceRecorder(max_events=10**6)
+        report = Simulator(
+            network,
+            trace=recorder,
+            engine="sharded",
+            shards=shards,
+            partitioner="greedy-edge",
+        ).run()
+        ref_report, ref_events = self._cycle_reference(topo_kind, num_vcs, rate)
+        assert_reports_identical(report, ref_report)
+        assert recorder.events == ref_events
+
+    def test_round_robin_single_node_segments(self):
+        """Round-robin gives every node its own segment — all traffic is
+        boundary traffic, the protocol's worst case."""
+        mesh = NoCTopology.mesh(4, 4, link_bandwidth=1600.0)
+        config = SimConfig(
+            warmup_cycles=200, measure_cycles=1_000, drain_cycles=400, seed=3
+        )
+
+        def run(name, **kwargs):
+            network = build_synthetic_network(mesh, config, "uniform", 0.25)
+            recorder = TraceRecorder(max_events=10**6)
+            report = Simulator(network, trace=recorder, engine=name, **kwargs).run()
+            return report, recorder.events
+
+        fast_report, fast_events = run(
+            "sharded", shards=4, partitioner="round-robin"
+        )
+        ref_report, ref_events = run("cycle")
+        assert_reports_identical(fast_report, ref_report)
+        assert fast_events == ref_events
 
 
 class TestFaultScenarioEquivalence:

@@ -120,12 +120,69 @@ class TestMap:
 
 
 class TestListMappers:
-    def test_lists_all_seven(self, capsys):
+    def test_lists_all_advertised(self, capsys):
         assert main(["list-mappers"]) == 0
         out = capsys.readouterr().out
-        for name in ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing"):
+        for name in ("nmap", "nmap-tm", "nmap-ta", "pmap", "gmap", "pbb", "annealing", "hmap"):
             assert name in out
         assert "cooling" in out  # options are shown
+
+
+class TestPartition:
+    def test_partition_summary(self, capsys):
+        assert main(["partition", "--topology", "mesh:8x8", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shards      : 4" in out
+        assert "edge cut" in out
+        assert "balance" in out
+
+    def test_partition_json_round_trips(self, capsys):
+        from repro.partition import PartitionSpec
+
+        assert (
+            main([
+                "partition", "--topology", "torus:4x4",
+                "--shards", "2", "--method", "round-robin", "--json",
+            ])
+            == 0
+        )
+        spec = PartitionSpec.from_dict(json.loads(capsys.readouterr().out))
+        assert spec.num_shards == 2
+        assert spec.method == "round-robin"
+
+    def test_partition_out_json(self, tmp_path, capsys):
+        target = tmp_path / "spec.json"
+        assert (
+            main([
+                "partition", "--topology", "mesh:4x4",
+                "--shards", "2", "--out-json", str(target),
+            ])
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["num_shards"] == 2
+
+    def test_partition_rejects_auto_topology(self, capsys):
+        assert main(["partition", "--topology", "auto", "--shards", "2"]) == 2
+        assert "explicit dimensions" in capsys.readouterr().err
+
+    def test_partition_unknown_method(self, capsys):
+        assert (
+            main([
+                "partition", "--topology", "mesh:4x4",
+                "--shards", "2", "--method", "kl",
+            ])
+            == 2
+        )
+        assert "unknown partitioner" in capsys.readouterr().err
+
+    def test_list_engines_shows_partitioners(self, capsys):
+        assert main(["list-engines"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out
+        for name in ("metis", "greedy-edge", "round-robin"):
+            assert name in out
 
 
 class TestSimulate:
